@@ -1,0 +1,40 @@
+//! Criterion counterpart of Table 2.2: per-solve cost of the
+//! finite-difference versus eigenfunction black-box solvers.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use subsparse::layout::generators;
+use subsparse::substrate::{
+    EigenSolver, EigenSolverConfig, FdSolver, FdSolverConfig, Substrate, SubstrateSolver,
+};
+
+fn bench_solvers(c: &mut Criterion) {
+    let layout = generators::regular_grid(128.0, 8, 2.0);
+    let substrate = Substrate::thesis_standard();
+    let n = layout.n_contacts();
+    let mut v = vec![0.0; n];
+    v[0] = 1.0;
+
+    let mut group = c.benchmark_group("solver_speed");
+    group.sample_size(10);
+
+    let fd = FdSolver::new(
+        &substrate,
+        &layout,
+        FdSolverConfig { nx: 64, ny: 64, nz: 24, ..Default::default() },
+    )
+    .expect("FD solver");
+    group.bench_function("finite_difference", |b| b.iter(|| fd.solve(&v)));
+
+    let eig = EigenSolver::new(
+        &substrate,
+        &layout,
+        EigenSolverConfig { panels: 128, ..Default::default() },
+    )
+    .expect("eigen solver");
+    group.bench_function("eigenfunction", |b| b.iter(|| eig.solve(&v)));
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_solvers);
+criterion_main!(benches);

@@ -1,0 +1,21 @@
+//! `cargo bench` shim: regenerates every thesis table and figure in quick
+//! mode so the whole evaluation pipeline is exercised by one command.
+//! Full-size runs: `cargo run --release -p subsparse-bench --bin <table>`.
+
+use subsparse_bench::{figures, tables};
+
+fn main() {
+    // criterion-style filtering is not needed; this target is a plain
+    // harness=false runner that regenerates all tables in quick mode
+    println!("{}", tables::run_table_2_1(true));
+    println!("{}", tables::run_table_2_2(true));
+    println!("{}", tables::run_table_3_1(true));
+    println!("{}", tables::run_table_4_1(true));
+    println!("{}", tables::run_table_4_2(true));
+    println!("{}", tables::run_table_4_3(true));
+    println!("{}", figures::run_fig_3_5_grouping(true));
+    println!("{}", figures::run_fig_4_3_svd_decay(true));
+    println!("{}", figures::run_fig_layouts(true));
+    println!("{}", figures::run_fig_spy_wavelet(true));
+    println!("{}", figures::run_fig_spy_lowrank(true));
+}

@@ -1,0 +1,61 @@
+//! Ablation: extraction accuracy and cost versus quadtree depth, for both
+//! methods, on the eigenfunction solver (and optionally the synthetic
+//! kernel with `--synthetic`). Helps pick `levels` for a given layout.
+
+use subsparse::layout::generators;
+use subsparse::lowrank::LowRankOptions;
+use subsparse::metrics::{error_stats, rel_fro_error};
+use subsparse::substrate::{
+    extract_dense, solver, EigenSolver, EigenSolverConfig, Substrate, SubstrateSolver,
+};
+use subsparse::{extract_lowrank, extract_wavelet};
+
+fn main() {
+    let synthetic = std::env::args().any(|a| a == "--synthetic");
+    let k = 16usize;
+    let layout = generators::regular_grid(128.0, k, 2.0);
+    let solver: Box<dyn SubstrateSolver> = if synthetic {
+        Box::new(solver::synthetic(&layout))
+    } else {
+        Box::new(
+            EigenSolver::new(
+                &Substrate::thesis_standard(),
+                &layout,
+                EigenSolverConfig { panels: 64, ..Default::default() },
+            )
+            .expect("solver"),
+        )
+    };
+    let g = extract_dense(&*solver);
+    println!(
+        "ablation over quadtree depth ({} {}x{} grid, n = {})",
+        if synthetic { "synthetic" } else { "eigen" },
+        k,
+        k,
+        layout.n_contacts()
+    );
+    println!(
+        "{:>6} {:>12} {:>12} {:>12} {:>12} {:>12} {:>12}",
+        "levels", "lr fro err", "lr max rel", "lr solves", "wv fro err", "wv max rel", "wv solves"
+    );
+    for levels in 2..=4 {
+        let (lr, _row_basis) =
+            extract_lowrank(&*solver, &layout, levels, &LowRankOptions::default())
+                .expect("low-rank");
+        let lr_dense = lr.rep.to_dense();
+        let lr_stats = error_stats(&g, &lr_dense);
+        let wv = extract_wavelet(&*solver, &layout, levels, 2).expect("wavelet");
+        let wv_dense = wv.rep.to_dense();
+        let wv_stats = error_stats(&g, &wv_dense);
+        println!(
+            "{:>6} {:>12.4e} {:>12.4} {:>12} {:>12.4e} {:>12.4} {:>12}",
+            levels,
+            rel_fro_error(&g, &lr_dense),
+            lr_stats.max_rel_error,
+            lr.solves,
+            rel_fro_error(&g, &wv_dense),
+            wv_stats.max_rel_error,
+            wv.solves,
+        );
+    }
+}

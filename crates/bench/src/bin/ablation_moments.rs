@@ -1,0 +1,45 @@
+//! Ablation: the wavelet method's vanishing-moment order `p`. The thesis
+//! found `p = 2` effective (§3.2.1); higher orders buy far-field decay at
+//! the cost of more nonvanishing vectors per square (denser `Gw`, more
+//! solves).
+
+use subsparse::layout::generators;
+use subsparse::metrics::error_stats;
+use subsparse::substrate::{
+    extract_dense, CountingSolver, EigenSolver, EigenSolverConfig, Substrate,
+};
+use subsparse::wavelet::{build_basis, extract, ExtractOptions};
+
+fn main() {
+    let layout = generators::regular_grid(128.0, 16, 2.0);
+    let solver = EigenSolver::new(
+        &Substrate::thesis_standard(),
+        &layout,
+        EigenSolverConfig { panels: 128, ..Default::default() },
+    )
+    .expect("solver");
+    let g = extract_dense(&solver);
+    println!(
+        "moment-order ablation (regular 16x16 grid, n = {})",
+        layout.n_contacts()
+    );
+    println!(
+        "{:>3} {:>11} {:>8} {:>10} {:>12} {:>10}",
+        "p", "constraints", "solves", "sparsity", "max relerr", ">10% err"
+    );
+    for p in 0..=3usize {
+        let basis = build_basis(&layout, 2, p).expect("basis");
+        let counting = CountingSolver::new(&solver);
+        let rep = extract(&counting, &basis, &ExtractOptions::default());
+        let stats = error_stats(&g, &rep.to_dense());
+        println!(
+            "{:>3} {:>11} {:>8} {:>10.2} {:>11.3}% {:>9.2}%",
+            p,
+            (p + 1) * (p + 2) / 2,
+            counting.count(),
+            rep.sparsity_factor(),
+            100.0 * stats.max_rel_error,
+            100.0 * stats.frac_above_10pct,
+        );
+    }
+}

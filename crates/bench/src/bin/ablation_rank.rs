@@ -1,0 +1,46 @@
+//! Ablation: the low-rank method's rank-truncation rule. The thesis keeps
+//! singular values above `sigma_1/100`, at most 6 (§4.6); this sweep shows
+//! the accuracy/sparsity trade-off around that choice.
+
+use subsparse::layout::generators;
+use subsparse::lowrank::LowRankOptions;
+use subsparse::metrics::error_stats;
+use subsparse::substrate::{extract_dense, EigenSolver, EigenSolverConfig, Substrate};
+use subsparse::extract_lowrank;
+
+fn main() {
+    let layout = generators::alternating_grid(128.0, 16, 3.0, 1.0);
+    let solver = EigenSolver::new(
+        &Substrate::thesis_standard(),
+        &layout,
+        EigenSolverConfig { panels: 128, ..Default::default() },
+    )
+    .expect("solver");
+    let g = extract_dense(&solver);
+    println!("rank-truncation ablation (alternating 16x16 grid, n = {})", g.n_rows());
+    println!(
+        "{:>8} {:>10} {:>10} {:>12} {:>10} {:>8}",
+        "max_rank", "rank_tol", "sparsity", "max relerr", ">10% err", "solves"
+    );
+    for (max_rank, rank_tol) in [
+        (2, 1e-2),
+        (4, 1e-2),
+        (6, 1e-2), // the thesis's choice
+        (8, 1e-2),
+        (6, 1e-1),
+        (6, 1e-3),
+    ] {
+        let opts = LowRankOptions { max_rank, rank_tol, ..Default::default() };
+        let (x, _) = extract_lowrank(&solver, &layout, 2, &opts).expect("extraction");
+        let stats = error_stats(&g, &x.rep.to_dense());
+        println!(
+            "{:>8} {:>10.0e} {:>10.2} {:>11.2}% {:>9.2}% {:>8}",
+            max_rank,
+            rank_tol,
+            x.sparsity_factor(),
+            100.0 * stats.max_rel_error,
+            100.0 * stats.frac_above_10pct,
+            x.solves,
+        );
+    }
+}

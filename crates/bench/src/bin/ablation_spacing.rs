@@ -1,0 +1,58 @@
+//! Ablation: the combine-solves separation. Spacing 3 is the thesis's
+//! choice (squares with equal `mod 3` phases share a solve); spacing 0
+//! disables combining (one exact solve per vector) and isolates how much
+//! accuracy the solve sharing costs.
+
+use subsparse::layout::generators;
+use subsparse::lowrank::LowRankOptions;
+use subsparse::metrics::error_stats;
+use subsparse::substrate::{
+    extract_dense, CountingSolver, EigenSolver, EigenSolverConfig, Substrate,
+};
+use subsparse::wavelet::{build_basis, extract, ExtractOptions};
+
+fn main() {
+    let layout = generators::regular_grid(128.0, 16, 2.0);
+    let solver = EigenSolver::new(
+        &Substrate::thesis_standard(),
+        &layout,
+        EigenSolverConfig { panels: 128, ..Default::default() },
+    )
+    .expect("solver");
+    let g = extract_dense(&solver);
+    let n = layout.n_contacts();
+
+    println!("combine-solves spacing ablation (regular 16x16 grid, n = {n})");
+    println!("--- wavelet method");
+    println!("{:>8} {:>8} {:>12} {:>10}", "spacing", "solves", "max relerr", ">10% err");
+    let basis = build_basis(&layout, 2, 2).expect("basis");
+    for spacing in [0usize, 3, 4, 6] {
+        let counting = CountingSolver::new(&solver);
+        let rep = extract(&counting, &basis, &ExtractOptions { spacing });
+        let stats = error_stats(&g, &rep.to_dense());
+        println!(
+            "{:>8} {:>8} {:>11.3}% {:>9.2}%",
+            spacing,
+            counting.count(),
+            100.0 * stats.max_rel_error,
+            100.0 * stats.frac_above_10pct,
+        );
+    }
+
+    println!("--- low-rank method");
+    println!("{:>8} {:>8} {:>12} {:>10}", "spacing", "solves", "max relerr", ">10% err");
+    for spacing in [0usize, 3, 4] {
+        let counting = CountingSolver::new(&solver);
+        let opts = LowRankOptions { spacing, ..Default::default() };
+        let result =
+            subsparse::lowrank::extract(&counting, &layout, 2, &opts).expect("extraction");
+        let stats = error_stats(&g, &result.rep.to_dense());
+        println!(
+            "{:>8} {:>8} {:>11.3}% {:>9.2}%",
+            spacing,
+            counting.count(),
+            100.0 * stats.max_rel_error,
+            100.0 * stats.frac_above_10pct,
+        );
+    }
+}

@@ -1,0 +1,5 @@
+//! Regenerates thesis fig 3 5 grouping (pass `--quick` for a smaller run).
+fn main() {
+    let quick = subsparse_bench::quick_from_args();
+    print!("{}", subsparse_bench::figures::run_fig_3_5_grouping(quick));
+}

@@ -1,0 +1,5 @@
+//! Regenerates thesis table 2 1 (pass `--quick` for a smaller run).
+fn main() {
+    let quick = subsparse_bench::quick_from_args();
+    print!("{}", subsparse_bench::tables::run_table_2_1(quick));
+}

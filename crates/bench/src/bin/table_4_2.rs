@@ -1,0 +1,5 @@
+//! Regenerates thesis table 4 2 (pass `--quick` for a smaller run).
+fn main() {
+    let quick = subsparse_bench::quick_from_args();
+    print!("{}", subsparse_bench::tables::run_table_4_2(quick));
+}

@@ -1,0 +1,185 @@
+//! Canonical configurations of the thesis's evaluation examples.
+//!
+//! The thesis publishes its layouts only as figures; these specs reproduce
+//! their *structure* (regularity, size mixture, gaps, shape mixture) on
+//! the same 128 x 128 surface over the same two-layer substrate with a
+//! resistive bottom layer emulating a floating backplane (§3.7).
+
+use subsparse::layout::{generators, Layout};
+use subsparse::substrate::{
+    EigenSolver, EigenSolverConfig, FdSolver, FdSolverConfig, SolverError, Substrate,
+    SubstrateSolver,
+};
+
+/// Which black-box solver an example uses.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SolverKind {
+    /// Eigenfunction (surface-variable) solver — the thesis's default.
+    Eigen,
+    /// Finite-difference solver (Example 1b of Table 3.1).
+    FiniteDifference,
+}
+
+/// One evaluation example: a layout, a quadtree depth, and a solver choice.
+#[derive(Clone, Debug)]
+pub struct ExampleSpec {
+    /// Display name matching the thesis ("1a", "2", ...).
+    pub name: &'static str,
+    /// The contact layout (already split to quadtree squares if needed).
+    pub layout: Layout,
+    /// Quadtree depth for the extraction algorithms.
+    pub levels: usize,
+    /// Which solver backs the example.
+    pub solver: SolverKind,
+    /// Eigen-solver panel count needed to resolve the smallest contact.
+    pub panels: usize,
+}
+
+impl ExampleSpec {
+    /// Builds the configured black-box solver.
+    ///
+    /// # Errors
+    ///
+    /// Propagates solver construction errors.
+    pub fn build_solver(&self) -> Result<Box<dyn SubstrateSolver>, SolverError> {
+        match self.solver {
+            SolverKind::Eigen => {
+                let cfg = EigenSolverConfig { panels: self.panels, ..Default::default() };
+                Ok(Box::new(EigenSolver::new(&Substrate::thesis_standard(), &self.layout, cfg)?))
+            }
+            SolverKind::FiniteDifference => {
+                let cfg = FdSolverConfig { nx: self.panels, ny: self.panels, ..Default::default() };
+                Ok(Box::new(FdSolver::new(&Substrate::thesis_standard(), &self.layout, cfg)?))
+            }
+        }
+    }
+}
+
+/// The Chapter 3 (wavelet) evaluation examples: 1a regular grid (eigen),
+/// 1b same with the FD solver, 2 irregular same-size, 3 alternating sizes.
+///
+/// `quick` halves the grid (for the `cargo bench` shim).
+pub fn ch3_examples(quick: bool) -> Vec<ExampleSpec> {
+    // panels stay at 128 even in quick mode: the small contacts of the
+    // alternating-size layout need 1-unit panels to be resolved
+    let (k, levels, panels) = if quick { (16, 2, 128) } else { (32, 3, 128) };
+    vec![
+        ExampleSpec {
+            name: "1a",
+            layout: generators::regular_grid(128.0, k, 2.0),
+            levels,
+            solver: SolverKind::Eigen,
+            panels,
+        },
+        ExampleSpec {
+            name: "1b",
+            layout: generators::regular_grid(128.0, k, 2.0),
+            levels,
+            solver: SolverKind::FiniteDifference,
+            panels: 64,
+        },
+        ExampleSpec {
+            name: "2",
+            layout: generators::irregular_same_size(128.0, k, 2.0, 3),
+            levels,
+            solver: SolverKind::Eigen,
+            panels,
+        },
+        ExampleSpec {
+            name: "3",
+            layout: generators::alternating_grid(128.0, k, 3.0, 1.5),
+            levels,
+            solver: SolverKind::Eigen,
+            panels,
+        },
+    ]
+}
+
+/// The Chapter 4 (low-rank) evaluation examples: 1 regular grid,
+/// 2 alternating sizes, 3 mixed shapes (squares, bars, rings).
+pub fn ch4_examples(quick: bool) -> Vec<ExampleSpec> {
+    let (k, levels, panels) = if quick { (16, 2, 128) } else { (32, 3, 128) };
+    let mixed = {
+        let raw = generators::mixed_shapes(128.0);
+        let mixed_levels = 5; // 4x4-unit finest squares
+        let (split, _) = raw.split_to_squares(mixed_levels as u32);
+        ExampleSpec {
+            name: "3",
+            layout: split,
+            levels: mixed_levels,
+            solver: SolverKind::Eigen,
+            panels: 128,
+        }
+    };
+    let mut v = vec![
+        ExampleSpec {
+            name: "1",
+            layout: generators::regular_grid(128.0, k, 2.0),
+            levels,
+            solver: SolverKind::Eigen,
+            panels,
+        },
+        ExampleSpec {
+            name: "2",
+            layout: generators::alternating_grid(128.0, k, 3.0, 1.5),
+            levels,
+            solver: SolverKind::Eigen,
+            panels,
+        },
+    ];
+    if !quick {
+        v.push(mixed);
+    }
+    v
+}
+
+/// The large examples of Table 4.3: Example 4 (64 x 64 alternating grid,
+/// 4096 contacts) and Example 5 (10240 mixed-pitch contacts).
+pub fn large_examples(quick: bool) -> Vec<ExampleSpec> {
+    if quick {
+        return vec![ExampleSpec {
+            name: "4 (quick)",
+            layout: generators::alternating_grid(128.0, 32, 2.8, 1.2),
+            levels: 3,
+            solver: SolverKind::Eigen,
+            panels: 128,
+        }];
+    }
+    vec![
+        ExampleSpec {
+            name: "4",
+            layout: generators::alternating_grid(128.0, 64, 1.4, 0.6),
+            levels: 4,
+            solver: SolverKind::Eigen,
+            panels: 256,
+        },
+        ExampleSpec {
+            name: "5",
+            layout: generators::example5(),
+            levels: 5,
+            solver: SolverKind::Eigen,
+            panels: 256,
+        },
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_examples_validate() {
+        for ex in ch3_examples(true).iter().chain(ch4_examples(true).iter()) {
+            ex.layout.validate().unwrap();
+            assert!(ex.layout.n_contacts() > 0);
+        }
+    }
+
+    #[test]
+    fn quick_solvers_build() {
+        for ex in ch3_examples(true) {
+            let s = ex.build_solver().unwrap();
+            assert_eq!(s.n_contacts(), ex.layout.n_contacts());
+        }
+    }
+}

@@ -1,0 +1,51 @@
+//! Benchmark harness regenerating every table and figure of the thesis
+//! evaluation.
+//!
+//! Each table/figure has a library function here (so the criterion shim
+//! and the standalone binaries share one implementation) and a binary in
+//! `src/bin/`. The binaries print the same rows the thesis reports;
+//! `EXPERIMENTS.md` records paper-versus-measured values.
+//!
+//! Run everything with:
+//!
+//! ```text
+//! cargo run --release -p subsparse-bench --bin table_2_1     # etc.
+//! cargo bench --workspace                                    # quick variants
+//! ```
+//!
+//! Pass `--quick` to any binary for a smaller, faster configuration (same
+//! code paths, reduced sizes).
+
+pub mod examples;
+pub mod figures;
+pub mod tables;
+
+pub use examples::{ch3_examples, ch4_examples, ExampleSpec, SolverKind};
+
+/// Returns true if `--quick` is among the process arguments.
+pub fn quick_from_args() -> bool {
+    std::env::args().any(|a| a == "--quick")
+}
+
+/// Formats a floating value for table output.
+pub fn fmt(v: f64) -> String {
+    if !v.is_finite() {
+        return "inf".into();
+    }
+    if v == 0.0 {
+        return "0".into();
+    }
+    let a = v.abs();
+    if a >= 100.0 {
+        format!("{v:.0}")
+    } else if a >= 1.0 {
+        format!("{v:.1}")
+    } else {
+        format!("{v:.3}")
+    }
+}
+
+/// Formats a fraction as a percentage.
+pub fn pct(v: f64) -> String {
+    format!("{:.1}%", 100.0 * v)
+}

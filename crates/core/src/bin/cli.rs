@@ -1,0 +1,255 @@
+//! `subsparse-cli` — extract, inspect, and apply sparse substrate-coupling
+//! models from the command line.
+//!
+//! ```text
+//! subsparse-cli extract --layout chip.txt --out model \
+//!     --method lowrank --levels 3 --panels 128 \
+//!     --substrate 0.5:1,38.5:100,1:0.1
+//! subsparse-cli info --model model
+//! subsparse-cli apply --model model --contact 0
+//! ```
+//!
+//! Layout files are the ASCII-art format of
+//! [`Layout::from_ascii`](subsparse::Layout::from_ascii): one character
+//! per cell, `.`/space empty, connected runs of the same character form
+//! one contact. See `examples/` for programmatic use instead.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use subsparse::layout::SplitLayout;
+use subsparse::lowrank::LowRankOptions;
+use subsparse::substrate::{
+    Backplane, CountingSolver, EigenSolver, EigenSolverConfig, FdSolver, FdSolverConfig, Layer,
+    Substrate, SubstrateSolver,
+};
+use subsparse::{extract_lowrank, extract_wavelet, BasisRep, Layout};
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match run(&args) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            eprintln!("run `subsparse-cli help` for usage");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+const HELP: &str = "\
+subsparse-cli — sparse substrate-coupling model extraction
+
+USAGE:
+  subsparse-cli extract --layout FILE --out STEM [options]
+  subsparse-cli info    --model STEM
+  subsparse-cli apply   --model STEM --contact K [--volts V]
+  subsparse-cli help
+
+EXTRACT OPTIONS:
+  --layout FILE       ASCII-art layout (one char per cell; runs of the
+                      same char = one contact)
+  --extent A          surface side length (default 128)
+  --out STEM          write STEM.q.mtx and STEM.gw.mtx
+  --method M          lowrank (default) | wavelet
+  --levels N          quadtree depth (default: auto)
+  --substrate SPEC    comma list thickness:conductivity, top first
+                      (default 0.5:1,38.5:100,1:0.1 — the thesis profile)
+  --backplane B       grounded (default) | floating (FD solver only)
+  --solver S          eigen (default) | fd
+  --panels P          eigen panels / FD grid per side (default 128)
+  --threshold F       extra sparsification factor (e.g. 6); default off
+";
+
+fn run(args: &[String]) -> Result<(), String> {
+    match args.first().map(String::as_str) {
+        Some("extract") => cmd_extract(&args[1..]),
+        Some("info") => cmd_info(&args[1..]),
+        Some("apply") => cmd_apply(&args[1..]),
+        Some("help") | Some("--help") | Some("-h") | None => {
+            print!("{HELP}");
+            Ok(())
+        }
+        Some(other) => Err(format!("unknown command {other:?}")),
+    }
+}
+
+/// Minimal `--key value` argument map.
+struct Opts<'a> {
+    pairs: Vec<(&'a str, &'a str)>,
+}
+
+impl<'a> Opts<'a> {
+    fn parse(args: &'a [String]) -> Result<Self, String> {
+        let mut pairs = Vec::new();
+        let mut it = args.iter();
+        while let Some(key) = it.next() {
+            let key = key
+                .strip_prefix("--")
+                .ok_or_else(|| format!("expected --option, got {key:?}"))?;
+            let value = it.next().ok_or_else(|| format!("--{key} needs a value"))?;
+            pairs.push((key, value.as_str()));
+        }
+        Ok(Opts { pairs })
+    }
+
+    fn get(&self, key: &str) -> Option<&str> {
+        self.pairs.iter().find(|(k, _)| *k == key).map(|(_, v)| *v)
+    }
+
+    fn require(&self, key: &str) -> Result<&str, String> {
+        self.get(key).ok_or_else(|| format!("missing required option --{key}"))
+    }
+
+    fn get_parsed<T: std::str::FromStr>(&self, key: &str, default: T) -> Result<T, String> {
+        match self.get(key) {
+            None => Ok(default),
+            Some(v) => v.parse().map_err(|_| format!("bad value for --{key}: {v:?}")),
+        }
+    }
+}
+
+fn parse_substrate(spec: &str, backplane: Backplane) -> Result<Substrate, String> {
+    let mut layers = Vec::new();
+    for part in spec.split(',') {
+        let (t, c) = part
+            .split_once(':')
+            .ok_or_else(|| format!("layer {part:?} must be thickness:conductivity"))?;
+        let thickness: f64 =
+            t.parse().map_err(|_| format!("bad layer thickness {t:?}"))?;
+        let conductivity: f64 =
+            c.parse().map_err(|_| format!("bad layer conductivity {c:?}"))?;
+        if thickness <= 0.0 || conductivity <= 0.0 {
+            return Err(format!("layer {part:?} must have positive values"));
+        }
+        layers.push(Layer::new(thickness, conductivity));
+    }
+    if layers.is_empty() {
+        return Err("substrate needs at least one layer".into());
+    }
+    Ok(Substrate::new(layers, backplane))
+}
+
+fn cmd_extract(args: &[String]) -> Result<(), String> {
+    let opts = Opts::parse(args)?;
+    let layout_path = opts.require("layout")?;
+    let out = PathBuf::from(opts.require("out")?);
+    let extent: f64 = opts.get_parsed("extent", 128.0)?;
+    let method = opts.get("method").unwrap_or("lowrank");
+    let solver_kind = opts.get("solver").unwrap_or("eigen");
+    let panels: usize = opts.get_parsed("panels", 128)?;
+    let backplane = match opts.get("backplane").unwrap_or("grounded") {
+        "grounded" => Backplane::Grounded,
+        "floating" => Backplane::Floating,
+        other => return Err(format!("unknown backplane {other:?}")),
+    };
+    let substrate =
+        parse_substrate(opts.get("substrate").unwrap_or("0.5:1,38.5:100,1:0.1"), backplane)?;
+
+    let art = std::fs::read_to_string(layout_path)
+        .map_err(|e| format!("cannot read {layout_path}: {e}"))?;
+    let raw = Layout::from_ascii(extent, extent, &art);
+    raw.validate().map_err(|e| format!("invalid layout: {e}"))?;
+    let levels: usize =
+        opts.get_parsed("levels", subsparse::choose_levels(&raw, 16).max(2))?;
+    let split = SplitLayout::new(&raw, levels as u32);
+    let layout = split.layout();
+    println!(
+        "layout: {} contacts ({} pieces after splitting), levels = {levels}",
+        raw.n_contacts(),
+        layout.n_contacts()
+    );
+
+    let black_box: Box<dyn SubstrateSolver> = match solver_kind {
+        "eigen" => Box::new(
+            EigenSolver::new(
+                &substrate,
+                layout,
+                EigenSolverConfig { panels, ..Default::default() },
+            )
+            .map_err(|e| format!("eigen solver: {e}"))?,
+        ),
+        "fd" => Box::new(
+            FdSolver::new(
+                &substrate,
+                layout,
+                FdSolverConfig { nx: panels, ny: panels, ..Default::default() },
+            )
+            .map_err(|e| format!("fd solver: {e}"))?,
+        ),
+        other => return Err(format!("unknown solver {other:?}")),
+    };
+    let counting = CountingSolver::new(&*black_box);
+
+    let rep = match method {
+        "lowrank" => {
+            let (x, _) = extract_lowrank(&counting, layout, levels, &LowRankOptions::default())
+                .map_err(|e| format!("extraction: {e}"))?;
+            x.rep
+        }
+        "wavelet" => {
+            let x = extract_wavelet(&counting, layout, levels, 2)
+                .map_err(|e| format!("extraction: {e}"))?;
+            x.rep
+        }
+        other => return Err(format!("unknown method {other:?}")),
+    };
+    let n = layout.n_contacts();
+    println!(
+        "extracted with {} solves ({:.1}x fewer than naive); Gw sparsity {:.1}x",
+        counting.count(),
+        n as f64 / counting.count() as f64,
+        rep.sparsity_factor()
+    );
+
+    let rep = match opts.get("threshold") {
+        None => rep,
+        Some(f) => {
+            let factor: f64 = f.parse().map_err(|_| format!("bad --threshold {f:?}"))?;
+            let (t, cut) = rep.thresholded_to_sparsity(rep.sparsity_factor() * factor);
+            println!(
+                "thresholded at {cut:.3e}: sparsity {:.1}x ({} nonzeros)",
+                t.sparsity_factor(),
+                t.gw.nnz()
+            );
+            t
+        }
+    };
+    rep.save(&out).map_err(|e| format!("saving model: {e}"))?;
+    println!("wrote {}.q.mtx and {}.gw.mtx", out.display(), out.display());
+    Ok(())
+}
+
+fn cmd_info(args: &[String]) -> Result<(), String> {
+    let opts = Opts::parse(args)?;
+    let stem = PathBuf::from(opts.require("model")?);
+    let rep = BasisRep::load(&stem).map_err(|e| format!("loading model: {e}"))?;
+    println!("model {}:", stem.display());
+    println!("  contacts:     {}", rep.n());
+    println!("  Q nonzeros:   {} ({:.1}x sparse)", rep.q.nnz(), rep.q_sparsity_factor());
+    println!("  Gw nonzeros:  {} ({:.1}x sparse)", rep.gw.nnz(), rep.sparsity_factor());
+    println!("  dense G size: {} entries", rep.n() * rep.n());
+    Ok(())
+}
+
+fn cmd_apply(args: &[String]) -> Result<(), String> {
+    let opts = Opts::parse(args)?;
+    let stem = PathBuf::from(opts.require("model")?);
+    let contact: usize = opts
+        .require("contact")?
+        .parse()
+        .map_err(|_| "bad --contact index".to_string())?;
+    let volts: f64 = opts.get_parsed("volts", 1.0)?;
+    let rep = BasisRep::load(&stem).map_err(|e| format!("loading model: {e}"))?;
+    if contact >= rep.n() {
+        return Err(format!("contact {contact} out of range (model has {})", rep.n()));
+    }
+    let mut v = vec![0.0; rep.n()];
+    v[contact] = volts;
+    let i = rep.apply(&v);
+    println!("currents for {volts} V on contact {contact}:");
+    for (k, val) in i.iter().enumerate() {
+        println!("{k:>8} {val:+.6e}");
+    }
+    Ok(())
+}

@@ -1,0 +1,79 @@
+//! # subsparse — fast extraction and sparsification of substrate coupling
+//!
+//! A from-scratch Rust reproduction of *"Fast Methods for Extraction and
+//! Sparsification of Substrate Coupling"* (Kanapka, Phillips, White; DAC
+//! 2000 / ICCAD 2001 / MIT PhD thesis 2002).
+//!
+//! Mixed-signal ICs couple every substrate contact to every other one
+//! through the resistive substrate, so the conductance matrix `G` (contact
+//! voltages → contact currents) is dense: extracting it naively costs one
+//! substrate solve *per contact*, and storing or applying it costs
+//! `O(n^2)`. This crate reduces both, assuming nothing about the solver
+//! beyond a black box `v ↦ G v`:
+//!
+//! * **`O(log n)` black-box solves** instead of `n`, via *combine-solves*
+//!   (summing basis vectors from well-separated squares into one solve);
+//! * **`O(n log n)` nonzeros** in a representation `G ≈ Q Gw Q'` with a
+//!   sparse orthogonal change of basis `Q`, via two alternative methods:
+//!   the geometric **wavelet** construction ([`wavelet`], thesis Ch. 3) and
+//!   the operator-adaptive **low-rank** construction ([`lowrank`], Ch. 4).
+//!
+//! The workspace also contains everything needed to *be* the black box:
+//! a finite-difference substrate solver and an eigenfunction-expansion
+//! solver ([`substrate`]), the dense/sparse linear algebra ([`linalg`]),
+//! layout generators for the thesis's evaluation examples ([`layout`]),
+//! and the quadtree machinery shared by both methods ([`hier`]).
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use subsparse::layout::generators;
+//! use subsparse::substrate::{EigenSolver, EigenSolverConfig, Substrate};
+//! use subsparse::{extract_lowrank, lowrank::LowRankOptions};
+//!
+//! // a 16x16 grid of contacts on the thesis's two-layer substrate
+//! let layout = generators::regular_grid(128.0, 16, 2.0);
+//! let solver = EigenSolver::new(
+//!     &Substrate::thesis_standard(),
+//!     &layout,
+//!     EigenSolverConfig { panels: 64, ..EigenSolverConfig::default() },
+//! )?;
+//! let (x, _) = extract_lowrank(&solver, &layout, 4, &LowRankOptions::default())?;
+//! println!(
+//!     "n = {}, solves = {} ({:.1}x reduction), Gw sparsity {:.1}x",
+//!     x.n(), x.solves, x.solve_reduction_factor(), x.sparsity_factor(),
+//! );
+//! let currents = x.rep.apply(&vec![1.0; x.n()]); // i = G v in O(n log n)
+//! assert_eq!(currents.len(), 256);
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+pub mod extraction;
+pub mod metrics;
+pub mod spy;
+
+pub use extraction::{choose_levels, extract_lowrank, extract_wavelet, Extraction};
+
+/// Dense/sparse linear algebra kernels (SVD, QR, CG, FFT/DCT, CSR).
+pub use subsparse_linalg as linalg;
+
+/// Contact layout geometry and the thesis's example generators.
+pub use subsparse_layout as layout;
+
+/// Substrate models and black-box solvers (finite-difference and
+/// eigenfunction).
+pub use subsparse_substrate as substrate;
+
+/// Quadtree hierarchy, moments, and the shared `Q Gw Q'` representation.
+pub use subsparse_hier as hier;
+
+/// The wavelet sparsification method (thesis Ch. 3, DAC 2000).
+pub use subsparse_wavelet as wavelet;
+
+/// The low-rank sparsification method (thesis Ch. 4, ICCAD 2001).
+pub use subsparse_lowrank as lowrank;
+
+// The types that almost every user touches, re-exported at the root.
+pub use subsparse_hier::BasisRep;
+pub use subsparse_layout::{Contact, Layout, Rect};
+pub use subsparse_substrate::{Backplane, Layer, Substrate, SubstrateSolver};

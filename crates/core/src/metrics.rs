@@ -1,0 +1,244 @@
+//! Accuracy and cost metrics of the thesis evaluation (§3.7, §4.6).
+//!
+//! The thesis measures sparsification quality by the *entrywise relative
+//! error* of the reconstructed `Q Gw Q'` against the exact `G` — a
+//! deliberately hard standard, since small entries (small contacts feeding
+//! sensitive circuitry) must also be right. Cost is measured by the
+//! *sparsity factor* `n^2 / nnz` and the *solve-reduction factor*
+//! `n / solves`.
+
+use subsparse_linalg::Mat;
+
+/// Entrywise relative-error statistics of an approximation against a
+/// reference matrix.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct ErrorStats {
+    /// Largest relative error over entries with a nonzero reference value.
+    pub max_rel_error: f64,
+    /// Fraction of (nonzero-reference) entries with relative error > 10%
+    /// (the thesis's thresholded-accuracy column).
+    pub frac_above_10pct: f64,
+    /// Mean relative error.
+    pub mean_rel_error: f64,
+    /// Number of entries compared.
+    pub compared: usize,
+}
+
+impl ErrorStats {
+    /// Fraction of entries with relative error above an arbitrary bound
+    /// cannot be recovered from the summary; this helper recomputes the
+    /// stats with a different threshold.
+    pub fn with_threshold(reference: &Mat, approx: &Mat, threshold: f64) -> (Self, f64) {
+        let stats = error_stats(reference, approx);
+        let frac = frac_above(reference, approx, threshold);
+        (stats, frac)
+    }
+}
+
+/// Computes [`ErrorStats`] over all entries of `reference` with nonzero
+/// value.
+///
+/// # Panics
+///
+/// Panics if the shapes differ.
+pub fn error_stats(reference: &Mat, approx: &Mat) -> ErrorStats {
+    assert_eq!(reference.n_rows(), approx.n_rows(), "shape mismatch");
+    assert_eq!(reference.n_cols(), approx.n_cols(), "shape mismatch");
+    let mut max_rel = 0.0_f64;
+    let mut sum_rel = 0.0_f64;
+    let mut above = 0usize;
+    let mut compared = 0usize;
+    for j in 0..reference.n_cols() {
+        let rc = reference.col(j);
+        let ac = approx.col(j);
+        for (r, a) in rc.iter().zip(ac) {
+            if *r == 0.0 {
+                continue;
+            }
+            let rel = (a - r).abs() / r.abs();
+            max_rel = max_rel.max(rel);
+            sum_rel += rel;
+            if rel > 0.10 {
+                above += 1;
+            }
+            compared += 1;
+        }
+    }
+    ErrorStats {
+        max_rel_error: max_rel,
+        frac_above_10pct: if compared == 0 { 0.0 } else { above as f64 / compared as f64 },
+        mean_rel_error: if compared == 0 { 0.0 } else { sum_rel / compared as f64 },
+        compared,
+    }
+}
+
+/// Fraction of (nonzero-reference) entries with relative error above
+/// `threshold`.
+pub fn frac_above(reference: &Mat, approx: &Mat, threshold: f64) -> f64 {
+    assert_eq!(reference.n_rows(), approx.n_rows(), "shape mismatch");
+    assert_eq!(reference.n_cols(), approx.n_cols(), "shape mismatch");
+    let mut above = 0usize;
+    let mut compared = 0usize;
+    for j in 0..reference.n_cols() {
+        let rc = reference.col(j);
+        let ac = approx.col(j);
+        for (r, a) in rc.iter().zip(ac) {
+            if *r == 0.0 {
+                continue;
+            }
+            if (a - r).abs() / r.abs() > threshold {
+                above += 1;
+            }
+            compared += 1;
+        }
+    }
+    if compared == 0 {
+        0.0
+    } else {
+        above as f64 / compared as f64
+    }
+}
+
+/// Fraction of entries with relative error above `threshold`, counting
+/// only entries whose reference magnitude is at least `floor_fraction`
+/// times the largest off-diagonal reference magnitude.
+///
+/// The thesis's accuracy claims implicitly carry such a floor: its
+/// largest example's entries span only a factor of ~500 (§5.1 "even
+/// though the smallest entries are less than 1/500 of the largest
+/// off-diagonal entries"), so every entry it grades sits well above
+/// solver noise. Synthetic layouts with a wider dynamic range need the
+/// floor made explicit for a like-for-like comparison.
+pub fn frac_above_floored(
+    reference: &Mat,
+    approx: &Mat,
+    threshold: f64,
+    floor_fraction: f64,
+) -> f64 {
+    assert_eq!(reference.n_rows(), approx.n_rows(), "shape mismatch");
+    assert_eq!(reference.n_cols(), approx.n_cols(), "shape mismatch");
+    // largest off-diagonal magnitude (diagonal excluded: it is orders of
+    // magnitude above every coupling)
+    let mut max_off = 0.0_f64;
+    for j in 0..reference.n_cols() {
+        for (i, &v) in reference.col(j).iter().enumerate() {
+            if i != j {
+                max_off = max_off.max(v.abs());
+            }
+        }
+    }
+    frac_above_with_floor(reference, approx, threshold, floor_fraction * max_off)
+}
+
+/// Like [`frac_above`], but entries with `|reference| < floor_abs` are
+/// excluded from the count. Useful when the reference columns are a
+/// sample (where the diagonal position is not `(i, i)`) and the caller
+/// computes the floor itself.
+pub fn frac_above_with_floor(
+    reference: &Mat,
+    approx: &Mat,
+    threshold: f64,
+    floor_abs: f64,
+) -> f64 {
+    assert_eq!(reference.n_rows(), approx.n_rows(), "shape mismatch");
+    assert_eq!(reference.n_cols(), approx.n_cols(), "shape mismatch");
+    let mut above = 0usize;
+    let mut compared = 0usize;
+    for j in 0..reference.n_cols() {
+        let rc = reference.col(j);
+        let ac = approx.col(j);
+        for (r, a) in rc.iter().zip(ac) {
+            if r.abs() < floor_abs || *r == 0.0 {
+                continue;
+            }
+            if (a - r).abs() / r.abs() > threshold {
+                above += 1;
+            }
+            compared += 1;
+        }
+    }
+    if compared == 0 {
+        0.0
+    } else {
+        above as f64 / compared as f64
+    }
+}
+
+/// Relative Frobenius-norm error `||A - R||_F / ||R||_F`.
+pub fn rel_fro_error(reference: &Mat, approx: &Mat) -> f64 {
+    let mut d = approx.clone();
+    d.add_scaled(-1.0, reference);
+    d.fro_norm() / reference.fro_norm()
+}
+
+/// The naive sparsification baseline of §3.7: keep the `target_nnz`
+/// largest-magnitude entries of the *original* `G` and zero the rest.
+///
+/// Both thesis methods beat this by a wide margin at equal sparsity, which
+/// is the point of changing basis first.
+pub fn threshold_dense(g: &Mat, target_nnz: usize) -> Mat {
+    let mut abs: Vec<f64> = g.data().iter().map(|v| v.abs()).collect();
+    abs.sort_by(|a, b| b.partial_cmp(a).unwrap());
+    let cut = if target_nnz == 0 || target_nnz > abs.len() {
+        0.0
+    } else {
+        abs[target_nnz - 1]
+    };
+    let mut out = g.clone();
+    let mut kept = 0usize;
+    for j in 0..out.n_cols() {
+        for v in out.col_mut(j) {
+            if v.abs() < cut || (v.abs() == cut && kept >= target_nnz) {
+                *v = 0.0;
+            } else {
+                kept += 1;
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn error_stats_basics() {
+        let r = Mat::from_rows(&[&[1.0, 2.0], &[0.0, -4.0]]);
+        let a = Mat::from_rows(&[&[1.25, 2.0], &[5.0, -4.0]]);
+        let s = error_stats(&r, &a);
+        // zero reference entry is skipped
+        assert_eq!(s.compared, 3);
+        assert!((s.max_rel_error - 0.25).abs() < 1e-12);
+        assert!((s.frac_above_10pct - 1.0 / 3.0).abs() < 1e-12);
+        assert!((s.mean_rel_error - 0.25 / 3.0).abs() < 1e-12);
+        let f = frac_above(&r, &a, 0.30);
+        assert!(f < 1e-12);
+    }
+
+    #[test]
+    fn floored_fraction_skips_small_entries() {
+        let r = Mat::from_rows(&[&[100.0, -1.0], &[-1e-6, 100.0]]);
+        let a = Mat::from_rows(&[&[100.0, -1.0], &[-2e-6, 100.0]]);
+        // the 1e-6 entry is 100% wrong but below the floor (1/500 of the
+        // largest off-diagonal = 2e-3)
+        assert!(frac_above(&r, &a, 0.10) > 0.0);
+        assert_eq!(frac_above_floored(&r, &a, 0.10, 1.0 / 500.0), 0.0);
+    }
+
+    #[test]
+    fn threshold_dense_keeps_largest() {
+        let g = Mat::from_rows(&[&[5.0, -1.0], &[2.0, 0.5]]);
+        let t = threshold_dense(&g, 2);
+        assert_eq!(t[(0, 0)], 5.0);
+        assert_eq!(t[(1, 0)], 2.0);
+        assert_eq!(t[(0, 1)], 0.0);
+        assert_eq!(t[(1, 1)], 0.0);
+    }
+
+    #[test]
+    fn rel_fro_zero_for_exact() {
+        let g = Mat::identity(4);
+        assert_eq!(rel_fro_error(&g, &g), 0.0);
+    }
+}

@@ -1,0 +1,17 @@
+//! Multilevel surface hierarchy shared by both sparsification algorithms.
+//!
+//! * [`Quadtree`] — the subdivision of the substrate surface into `4^l`
+//!   squares per level (thesis §3.3), contact assignment, and the
+//!   *local* / *interactive* square relations of the multipole-like
+//!   traversals (§4.3, Fig 4-4).
+//! * [`moments`] — polynomial moments of contact voltage functions and
+//!   moment translation between square centers (§3.2.1, §3.4.2).
+//! * [`rep`] — the `G ~ Q Gw Q'` representation both methods produce, with
+//!   thresholding helpers (§3.7, §4.6).
+
+pub mod moments;
+pub mod rep;
+pub mod tree;
+
+pub use rep::{BasisRep, SymmetricAccumulator};
+pub use tree::{HierError, Quadtree, Square};

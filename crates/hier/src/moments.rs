@@ -1,0 +1,146 @@
+//! Polynomial moments of contact voltage functions (thesis §3.2.1).
+//!
+//! The `(alpha, beta)` moment of a voltage function `sigma` over the
+//! contact area `C_s` of a square `s` is
+//! `p_{alpha,beta,s}(sigma) = integral_{C_s} x'^alpha y'^beta sigma dx dy`
+//! with `(x', y')` centered on the square centroid. The wavelet basis
+//! requires all moments of order `<= p` to vanish for its "fast-decaying"
+//! basis functions; with `p = 2` (the thesis's choice) there are 6 moment
+//! constraints.
+
+use subsparse_layout::Contact;
+use subsparse_linalg::Mat;
+
+/// Number of moments of order `<= p`: `(p+1)(p+2)/2` (thesis eq. 3.7).
+pub fn n_moments(p: usize) -> usize {
+    (p + 1) * (p + 2) / 2
+}
+
+/// The `(alpha, beta)` exponent pairs of all moments of order `<= p`, in a
+/// fixed (order-major) ordering.
+pub fn moment_orders(p: usize) -> Vec<(u32, u32)> {
+    let mut out = Vec::with_capacity(n_moments(p));
+    for order in 0..=p as u32 {
+        for alpha in (0..=order).rev() {
+            out.push((alpha, order - alpha));
+        }
+    }
+    out
+}
+
+/// `integral_{x0}^{x1} (x - c)^a dx`.
+fn powint(x0: f64, x1: f64, c: f64, a: u32) -> f64 {
+    let k = a as i32 + 1;
+    ((x1 - c).powi(k) - (x0 - c).powi(k)) / k as f64
+}
+
+/// Moments (orders `<= p`) of the characteristic function of one contact
+/// about `center`.
+pub fn contact_moments(contact: &Contact, center: (f64, f64), p: usize) -> Vec<f64> {
+    moment_orders(p)
+        .iter()
+        .map(|&(a, b)| {
+            contact
+                .rects()
+                .iter()
+                .map(|r| powint(r.x0, r.x1, center.0, a) * powint(r.y0, r.y1, center.1, b))
+                .sum()
+        })
+        .collect()
+}
+
+/// The moment matrix `M_s` of a set of contacts about a common center:
+/// `d x n_s`, column `j` holding the moments of contact `contacts[j]`
+/// (thesis §3.4.1).
+pub fn moment_matrix(contacts: &[&Contact], center: (f64, f64), p: usize) -> Mat {
+    let d = n_moments(p);
+    let mut m = Mat::zeros(d, contacts.len());
+    for (j, c) in contacts.iter().enumerate() {
+        let col = contact_moments(c, center, p);
+        m.col_mut(j).copy_from_slice(&col);
+    }
+    m
+}
+
+/// The `d x d` matrix `T` with `moments_about_new = T * moments_about_old`
+/// (thesis §3.4.2: re-centering moments from child to parent squares).
+pub fn translation_matrix(old_center: (f64, f64), new_center: (f64, f64), p: usize) -> Mat {
+    let orders = moment_orders(p);
+    let d = orders.len();
+    let dx = old_center.0 - new_center.0;
+    let dy = old_center.1 - new_center.1;
+    let mut t = Mat::zeros(d, d);
+    for (row, &(alpha, beta)) in orders.iter().enumerate() {
+        for (col, &(a, b)) in orders.iter().enumerate() {
+            if a <= alpha && b <= beta {
+                t[(row, col)] = binom(alpha, a)
+                    * binom(beta, b)
+                    * dx.powi((alpha - a) as i32)
+                    * dy.powi((beta - b) as i32);
+            }
+        }
+    }
+    t
+}
+
+fn binom(n: u32, k: u32) -> f64 {
+    let mut r = 1.0;
+    for i in 0..k {
+        r = r * (n - i) as f64 / (i + 1) as f64;
+    }
+    r
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use subsparse_layout::Rect;
+
+    #[test]
+    fn orders_and_count() {
+        assert_eq!(n_moments(2), 6);
+        assert_eq!(moment_orders(2), vec![(0, 0), (1, 0), (0, 1), (2, 0), (1, 1), (0, 2)]);
+    }
+
+    #[test]
+    fn zeroth_moment_is_area() {
+        let c = Contact::rect(Rect::new(1.0, 2.0, 3.0, 5.0));
+        let m = contact_moments(&c, (10.0, 10.0), 2);
+        assert!((m[0] - 6.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn centered_square_odd_moments_vanish() {
+        let c = Contact::rect(Rect::new(-1.0, -1.0, 1.0, 1.0));
+        let m = contact_moments(&c, (0.0, 0.0), 2);
+        // area, x, y, x^2, xy, y^2
+        assert!((m[0] - 4.0).abs() < 1e-12);
+        assert!(m[1].abs() < 1e-12 && m[2].abs() < 1e-12 && m[4].abs() < 1e-12);
+        assert!((m[3] - 4.0 / 3.0).abs() < 1e-12);
+        assert!((m[5] - 4.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn translation_matches_direct() {
+        let c = Contact::rect(Rect::new(0.5, 1.5, 2.0, 2.25));
+        let old = (1.0, 2.0);
+        let new = (-0.5, 3.5);
+        let m_old = contact_moments(&c, old, 3);
+        let m_new = contact_moments(&c, new, 3);
+        let t = translation_matrix(old, new, 3);
+        let shifted = t.matvec(&m_old);
+        for (a, b) in shifted.iter().zip(&m_new) {
+            assert!((a - b).abs() < 1e-10, "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn moment_matrix_columns() {
+        let c1 = Contact::rect(Rect::new(0.0, 0.0, 1.0, 1.0));
+        let c2 = Contact::rect(Rect::new(2.0, 0.0, 4.0, 1.0));
+        let m = moment_matrix(&[&c1, &c2], (0.0, 0.0), 1);
+        assert_eq!(m.n_rows(), 3);
+        assert_eq!(m.n_cols(), 2);
+        assert!((m[(0, 1)] - 2.0).abs() < 1e-12); // area of c2
+    }
+}

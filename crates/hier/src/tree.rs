@@ -1,0 +1,446 @@
+//! Quadtree over the substrate surface (thesis §3.3).
+
+use std::fmt;
+use subsparse_layout::Layout;
+
+/// A square of the hierarchy: `(level, ix, iy)` with
+/// `0 <= ix, iy < 2^level`. Level 0 is the whole surface.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Square {
+    /// Subdivision level.
+    pub level: u8,
+    /// Column index.
+    pub ix: u16,
+    /// Row index.
+    pub iy: u16,
+}
+
+impl Square {
+    /// Creates a square reference.
+    pub fn new(level: usize, ix: usize, iy: usize) -> Self {
+        Square { level: level as u8, ix: ix as u16, iy: iy as u16 }
+    }
+
+    /// Flat index `iy * 2^level + ix` within the level.
+    pub fn flat(&self) -> usize {
+        (self.iy as usize) << self.level | self.ix as usize
+    }
+
+    /// The parent square (level 0 has no parent).
+    pub fn parent(&self) -> Option<Square> {
+        if self.level == 0 {
+            None
+        } else {
+            Some(Square { level: self.level - 1, ix: self.ix / 2, iy: self.iy / 2 })
+        }
+    }
+
+    /// The four child squares.
+    pub fn children(&self) -> [Square; 4] {
+        let (l, x, y) = (self.level + 1, self.ix * 2, self.iy * 2);
+        [
+            Square { level: l, ix: x, iy: y },
+            Square { level: l, ix: x + 1, iy: y },
+            Square { level: l, ix: x, iy: y + 1 },
+            Square { level: l, ix: x + 1, iy: y + 1 },
+        ]
+    }
+
+    /// Chebyshev distance to another square on the same level.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the levels differ.
+    pub fn distance(&self, o: &Square) -> usize {
+        assert_eq!(self.level, o.level, "distance requires equal levels");
+        let dx = (self.ix as isize - o.ix as isize).unsigned_abs();
+        let dy = (self.iy as isize - o.iy as isize).unsigned_abs();
+        dx.max(dy)
+    }
+
+    /// Whether `o` is *local* to this square: the same square or one of its
+    /// eight neighbors (thesis §3.5 / Fig 4-4 "L" squares).
+    pub fn is_local(&self, o: &Square) -> bool {
+        self.distance(o) <= 1
+    }
+
+    /// The combine-solves phase `(ix mod 3, iy mod 3)` (thesis Fig 3-5).
+    pub fn phase(&self) -> (usize, usize) {
+        (self.ix as usize % 3, self.iy as usize % 3)
+    }
+
+    /// The ancestor of this square at a coarser `level`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `level` is finer than this square's level.
+    pub fn ancestor(&self, level: usize) -> Square {
+        assert!(level <= self.level as usize, "ancestor must be at a coarser level");
+        let shift = self.level as usize - level;
+        Square { level: level as u8, ix: self.ix >> shift, iy: self.iy >> shift }
+    }
+}
+
+/// Errors building a [`Quadtree`].
+#[derive(Clone, Debug, PartialEq)]
+pub enum HierError {
+    /// A contact's bounding box crosses a finest-level square boundary;
+    /// split the layout first with `Layout::split_to_squares`.
+    ContactCrossesSquare {
+        /// The offending contact index.
+        contact: usize,
+    },
+    /// The layout has no contacts.
+    EmptyLayout,
+}
+
+impl fmt::Display for HierError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            HierError::ContactCrossesSquare { contact } => write!(
+                f,
+                "contact {contact} crosses a finest-level square boundary; \
+                 split the layout with Layout::split_to_squares first"
+            ),
+            HierError::EmptyLayout => write!(f, "layout has no contacts"),
+        }
+    }
+}
+
+impl std::error::Error for HierError {}
+
+/// The multilevel subdivision of the surface with contacts assigned to
+/// finest-level squares.
+///
+/// # Example
+///
+/// ```
+/// use subsparse_hier::Quadtree;
+/// use subsparse_layout::generators;
+///
+/// let layout = generators::regular_grid(128.0, 8, 2.0);
+/// let tree = Quadtree::new(&layout, 3)?;                 // 8x8 finest squares
+/// assert_eq!(tree.contacts_in(tree.finest(), 0, 0).len(), 1);
+/// # Ok::<(), subsparse_hier::HierError>(())
+/// ```
+#[derive(Clone, Debug)]
+pub struct Quadtree {
+    levels: usize,
+    extent: (f64, f64),
+    n_contacts: usize,
+    /// `[level][flat square] -> sorted contact indices`
+    contacts: Vec<Vec<Vec<u32>>>,
+}
+
+impl Quadtree {
+    /// Builds a quadtree with `levels` subdivisions (finest level has
+    /// `2^levels` squares per side). Each contact is assigned to the finest
+    /// square containing its bounding box.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HierError::ContactCrossesSquare`] if a contact straddles a
+    /// finest-square boundary and [`HierError::EmptyLayout`] for an empty
+    /// layout.
+    pub fn new(layout: &Layout, levels: usize) -> Result<Self, HierError> {
+        if layout.n_contacts() == 0 {
+            return Err(HierError::EmptyLayout);
+        }
+        let (a, b) = layout.extent();
+        let k = 1usize << levels;
+        let sx = a / k as f64;
+        let sy = b / k as f64;
+        let mut finest = vec![Vec::new(); k * k];
+        for (ci, c) in layout.contacts().iter().enumerate() {
+            let bb = c.bbox();
+            let jx0 = ((bb.x0 + 1e-9) / sx).floor() as usize;
+            let jx1 = (((bb.x1 - 1e-9) / sx).floor() as usize).min(k - 1);
+            let jy0 = ((bb.y0 + 1e-9) / sy).floor() as usize;
+            let jy1 = (((bb.y1 - 1e-9) / sy).floor() as usize).min(k - 1);
+            if jx0 != jx1 || jy0 != jy1 {
+                return Err(HierError::ContactCrossesSquare { contact: ci });
+            }
+            finest[jy0 * k + jx0].push(ci as u32);
+        }
+        // aggregate to coarser levels
+        let mut contacts = vec![Vec::new(); levels + 1];
+        contacts[levels] = finest;
+        for l in (0..levels).rev() {
+            let kk = 1usize << l;
+            let fine = &contacts[l + 1];
+            let mut coarse = vec![Vec::new(); kk * kk];
+            for iy in 0..kk {
+                for ix in 0..kk {
+                    let mut acc = Vec::new();
+                    for (cx, cy) in
+                        [(2 * ix, 2 * iy), (2 * ix + 1, 2 * iy), (2 * ix, 2 * iy + 1), (2 * ix + 1, 2 * iy + 1)]
+                    {
+                        acc.extend_from_slice(&fine[cy * (kk * 2) + cx]);
+                    }
+                    acc.sort_unstable();
+                    coarse[iy * kk + ix] = acc;
+                }
+            }
+            contacts[l] = coarse;
+        }
+        Ok(Quadtree { levels, extent: (a, b), n_contacts: layout.n_contacts(), contacts })
+    }
+
+    /// Picks the deepest level such that no finest square holds more than
+    /// `cap` contacts (at least 2 levels, at most 12).
+    pub fn choose_levels(layout: &Layout, cap: usize) -> usize {
+        for levels in 2..=12 {
+            if let Ok(t) = Quadtree::new(layout, levels) {
+                let k = 1usize << levels;
+                let max = (0..k * k)
+                    .map(|s| t.contacts[levels][s].len())
+                    .max()
+                    .unwrap_or(0);
+                if max <= cap {
+                    return levels;
+                }
+            } else {
+                // contacts cross boundaries at this resolution; stop finer
+                return (levels - 1).max(2);
+            }
+        }
+        12
+    }
+
+    /// Number of subdivision levels (the finest level index).
+    pub fn finest(&self) -> usize {
+        self.levels
+    }
+
+    /// Total number of contacts.
+    pub fn n_contacts(&self) -> usize {
+        self.n_contacts
+    }
+
+    /// Surface extent.
+    pub fn extent(&self) -> (f64, f64) {
+        self.extent
+    }
+
+    /// Squares per side at `level`.
+    pub fn side(&self, level: usize) -> usize {
+        1 << level
+    }
+
+    /// Sorted contact indices inside a square.
+    pub fn contacts_in(&self, level: usize, ix: usize, iy: usize) -> &[u32] {
+        &self.contacts[level][(iy << level) | ix]
+    }
+
+    /// Sorted contact indices inside a square (by [`Square`]).
+    pub fn contacts_in_square(&self, s: Square) -> &[u32] {
+        self.contacts_in(s.level as usize, s.ix as usize, s.iy as usize)
+    }
+
+    /// Geometric center of a square.
+    pub fn center(&self, s: Square) -> (f64, f64) {
+        let k = self.side(s.level as usize) as f64;
+        (
+            (s.ix as f64 + 0.5) * self.extent.0 / k,
+            (s.iy as f64 + 0.5) * self.extent.1 / k,
+        )
+    }
+
+    /// All squares of a level in row-major order.
+    pub fn squares(&self, level: usize) -> impl Iterator<Item = Square> + '_ {
+        let k = self.side(level);
+        (0..k * k).map(move |s| Square::new(level, s % k, s / k))
+    }
+
+    /// All squares of a level in quadrant-hierarchical (Morton) order — the
+    /// basis ordering used for the thesis's spy plots (§3.7.1).
+    pub fn squares_morton(&self, level: usize) -> Vec<Square> {
+        let k = self.side(level);
+        let mut v: Vec<Square> = self.squares(level).collect();
+        v.sort_by_key(|s| morton(s.ix as usize, s.iy as usize));
+        let _ = k;
+        v
+    }
+
+    /// The *local* squares: `s` itself plus its (up to 8) neighbors.
+    pub fn local(&self, s: Square) -> Vec<Square> {
+        let k = self.side(s.level as usize) as isize;
+        let mut out = Vec::with_capacity(9);
+        for dy in -1..=1_isize {
+            for dx in -1..=1_isize {
+                let (x, y) = (s.ix as isize + dx, s.iy as isize + dy);
+                if x >= 0 && x < k && y >= 0 && y < k {
+                    out.push(Square::new(s.level as usize, x as usize, y as usize));
+                }
+            }
+        }
+        out
+    }
+
+    /// The *interactive* squares of `s` (thesis Fig 4-4): same-level
+    /// squares separated from `s` by at least one square whose parents are
+    /// local to `s`'s parent. Empty for levels 0 and 1.
+    pub fn interactive(&self, s: Square) -> Vec<Square> {
+        if s.level < 2 {
+            return Vec::new();
+        }
+        let parent = s.parent().expect("level >= 2 has a parent");
+        let mut out = Vec::with_capacity(27);
+        for p in self.local(parent) {
+            for c in p.children() {
+                if !s.is_local(&c) {
+                    out.push(c);
+                }
+            }
+        }
+        out.sort();
+        out
+    }
+
+    /// Local and interactive squares together (the thesis's `P_s` region).
+    pub fn local_and_interactive(&self, s: Square) -> Vec<Square> {
+        let mut out = self.interactive(s);
+        out.extend(self.local(s));
+        out.sort();
+        out
+    }
+
+    /// Contact indices of a whole region (union of squares), sorted.
+    pub fn region_contacts(&self, squares: &[Square]) -> Vec<u32> {
+        let mut out = Vec::new();
+        for s in squares {
+            out.extend_from_slice(self.contacts_in_square(*s));
+        }
+        out.sort_unstable();
+        out
+    }
+}
+
+/// Interleaves bits of `(x, y)` to a Morton code (quadrant-hierarchical
+/// ordering).
+pub fn morton(x: usize, y: usize) -> u64 {
+    fn spread(mut v: u64) -> u64 {
+        v &= 0xffff_ffff;
+        v = (v | (v << 16)) & 0x0000_ffff_0000_ffff;
+        v = (v | (v << 8)) & 0x00ff_00ff_00ff_00ff;
+        v = (v | (v << 4)) & 0x0f0f_0f0f_0f0f_0f0f;
+        v = (v | (v << 2)) & 0x3333_3333_3333_3333;
+        v = (v | (v << 1)) & 0x5555_5555_5555_5555;
+        v
+    }
+    spread(x as u64) | (spread(y as u64) << 1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use subsparse_layout::generators;
+
+    fn tree8() -> Quadtree {
+        let layout = generators::regular_grid(128.0, 8, 2.0);
+        Quadtree::new(&layout, 3).unwrap()
+    }
+
+    #[test]
+    fn assignment_one_per_square() {
+        let t = tree8();
+        for s in t.squares(3) {
+            assert_eq!(t.contacts_in_square(s).len(), 1);
+        }
+        // level 0 holds everything
+        assert_eq!(t.contacts_in(0, 0, 0).len(), 64);
+        // level 2 squares hold 4 each
+        for s in t.squares(2) {
+            assert_eq!(t.contacts_in_square(s).len(), 4);
+        }
+    }
+
+    #[test]
+    fn local_counts() {
+        let t = tree8();
+        assert_eq!(t.local(Square::new(3, 0, 0)).len(), 4); // corner
+        assert_eq!(t.local(Square::new(3, 3, 0)).len(), 6); // edge
+        assert_eq!(t.local(Square::new(3, 3, 3)).len(), 9); // interior
+    }
+
+    #[test]
+    fn interactive_properties() {
+        let t = tree8();
+        let s = Square::new(3, 3, 3);
+        let inter = t.interactive(s);
+        // interior square: 6x6 parent-neighborhood children minus 3x3 local
+        assert_eq!(inter.len(), 27);
+        for q in &inter {
+            assert!(s.distance(q) >= 2, "interactive squares are separated");
+            assert!(s.distance(q) <= 3 || s.parent().unwrap().is_local(&q.parent().unwrap()));
+        }
+        // symmetric: if d in I_s then s in I_d
+        for q in &inter {
+            assert!(t.interactive(*q).contains(&s), "interactive relation must be symmetric");
+        }
+        // levels 0/1 have no interactive squares
+        assert!(t.interactive(Square::new(1, 0, 0)).is_empty());
+    }
+
+    #[test]
+    fn level2_interactive_plus_local_covers_everything() {
+        let t = tree8();
+        for s in t.squares(2) {
+            let mut all = t.local_and_interactive(s);
+            all.dedup();
+            assert_eq!(all.len(), 16, "level 2 must cover the whole grid for {s:?}");
+        }
+    }
+
+    #[test]
+    fn region_contacts_sorted_unique() {
+        let t = tree8();
+        let s = Square::new(2, 1, 1);
+        let region = t.local_and_interactive(s);
+        let c = t.region_contacts(&region);
+        assert_eq!(c.len(), 64);
+        assert!(c.windows(2).all(|w| w[0] < w[1]));
+    }
+
+    #[test]
+    fn rejects_crossing_contacts() {
+        let mut layout = subsparse_layout::Layout::new(8.0, 8.0);
+        layout.push(subsparse_layout::Contact::rect(subsparse_layout::Rect::new(
+            1.0, 1.0, 7.0, 2.0,
+        )));
+        assert_eq!(
+            Quadtree::new(&layout, 1).unwrap_err(),
+            HierError::ContactCrossesSquare { contact: 0 }
+        );
+    }
+
+    #[test]
+    fn choose_levels_caps_occupancy() {
+        let layout = generators::regular_grid(128.0, 16, 2.0); // 256 contacts
+        let levels = Quadtree::choose_levels(&layout, 4);
+        let t = Quadtree::new(&layout, levels).unwrap();
+        let max = t.squares(levels).map(|s| t.contacts_in_square(s).len()).max().unwrap();
+        assert!(max <= 4);
+    }
+
+    #[test]
+    fn morton_order_is_quadrant_hierarchical() {
+        let t = tree8();
+        let order = t.squares_morton(1);
+        assert_eq!(order[0], Square::new(1, 0, 0));
+        assert_eq!(order.len(), 4);
+        // first four level-2 squares in Morton order share the (0,0) parent
+        let o2 = t.squares_morton(2);
+        for s in &o2[..4] {
+            assert_eq!(s.parent().unwrap(), Square::new(1, 0, 0));
+        }
+    }
+
+    #[test]
+    fn ancestor_and_phase() {
+        let s = Square::new(4, 13, 6);
+        assert_eq!(s.ancestor(2), Square::new(2, 3, 1));
+        assert_eq!(s.ancestor(4), s);
+        assert_eq!(s.phase(), (1, 0));
+    }
+}

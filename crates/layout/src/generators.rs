@@ -1,0 +1,294 @@
+//! Generators for the thesis's evaluation layouts.
+//!
+//! Coordinates are laid out on uniform site grids whose pitch divides the
+//! quadtree square size, so contacts never cross square boundaries (a
+//! requirement of the multilevel algorithms, thesis §3.2). All randomness
+//! is seeded and deterministic.
+
+use crate::{Contact, Layout, Rect};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A `k x k` grid of square contacts of side `size`, each centered in its
+/// site cell (thesis Fig 3-6, Examples 1a/1b).
+///
+/// # Panics
+///
+/// Panics if `size` does not fit in a cell.
+pub fn regular_grid(extent: f64, k: usize, size: f64) -> Layout {
+    let cell = extent / k as f64;
+    assert!(size < cell, "contact size {size} must be smaller than the cell {cell}");
+    let mut l = Layout::new(extent, extent);
+    let off = (cell - size) / 2.0;
+    for iy in 0..k {
+        for ix in 0..k {
+            let x0 = ix as f64 * cell + off;
+            let y0 = iy as f64 * cell + off;
+            l.push(Contact::rect(Rect::new(x0, y0, x0 + size, y0 + size)));
+        }
+    }
+    l
+}
+
+/// Same-size contacts with irregular placement and large gaps (thesis
+/// Fig 3-7, Example 2): sites of a `k x k` grid are removed inside a few
+/// random blob-shaped holes plus a sprinkle of independent dropouts.
+pub fn irregular_same_size(extent: f64, k: usize, size: f64, seed: u64) -> Layout {
+    let cell = extent / k as f64;
+    assert!(size < cell, "contact size {size} must be smaller than the cell {cell}");
+    let mut rng = StdRng::seed_from_u64(seed);
+    // blob holes: centers and radii in site units
+    let n_holes = 4 + k / 16;
+    let holes: Vec<(f64, f64, f64)> = (0..n_holes)
+        .map(|_| {
+            let cx = rng.gen_range(0.0..k as f64);
+            let cy = rng.gen_range(0.0..k as f64);
+            let r = rng.gen_range(k as f64 / 20.0..k as f64 / 8.0);
+            (cx, cy, r)
+        })
+        .collect();
+    let mut l = Layout::new(extent, extent);
+    let off = (cell - size) / 2.0;
+    for iy in 0..k {
+        for ix in 0..k {
+            let (sx, sy) = (ix as f64 + 0.5, iy as f64 + 0.5);
+            let in_hole =
+                holes.iter().any(|&(cx, cy, r)| (sx - cx).hypot(sy - cy) < r);
+            // independent dropout as well
+            let dropped = rng.gen_bool(0.08);
+            if in_hole || dropped {
+                continue;
+            }
+            let x0 = ix as f64 * cell + off;
+            let y0 = iy as f64 * cell + off;
+            l.push(Contact::rect(Rect::new(x0, y0, x0 + size, y0 + size)));
+        }
+    }
+    l
+}
+
+/// A `k x k` grid with rows alternating between large and small contacts
+/// (thesis Fig 3-8 "alternating-size contact layout"; Ch.3 Example 3 /
+/// Ch.4 Example 2; Example 4 is the same at `k = 64`).
+pub fn alternating_grid(extent: f64, k: usize, size_large: f64, size_small: f64) -> Layout {
+    let cell = extent / k as f64;
+    assert!(size_large < cell && size_small < cell, "contact sizes must fit in a cell");
+    let mut l = Layout::new(extent, extent);
+    for iy in 0..k {
+        let size = if iy % 2 == 0 { size_large } else { size_small };
+        let off = (cell - size) / 2.0;
+        for ix in 0..k {
+            let x0 = ix as f64 * cell + off;
+            let y0 = iy as f64 * cell + off;
+            l.push(Contact::rect(Rect::new(x0, y0, x0 + size, y0 + size)));
+        }
+    }
+    l
+}
+
+/// Mixed-shape layout with small squares, long thin bars, and rings
+/// (thesis Fig 4-8, Ch.4 Example 3).
+///
+/// Built on an `extent x extent` surface (intended `extent = 128`) with an
+/// occupancy grid at unit resolution; the caller should split the result to
+/// the quadtree grid with [`Layout::split_to_squares`] before extraction,
+/// exactly as the thesis splits large/long contacts.
+pub fn mixed_shapes(extent: f64) -> Layout {
+    let n = extent as usize;
+    let mut occ = vec![false; n * n];
+    let mut l = Layout::new(extent, extent);
+    // clearance-aware placement on the unit grid
+    let try_place = |occ: &mut Vec<bool>, x0: usize, y0: usize, w: usize, h: usize| -> bool {
+        if x0 + w > n || y0 + h > n {
+            return false;
+        }
+        let cx0 = x0.saturating_sub(1);
+        let cy0 = y0.saturating_sub(1);
+        let cx1 = (x0 + w + 1).min(n);
+        let cy1 = (y0 + h + 1).min(n);
+        for y in cy0..cy1 {
+            for x in cx0..cx1 {
+                if occ[y * n + x] {
+                    return false;
+                }
+            }
+        }
+        for y in y0..(y0 + h) {
+            for x in x0..(x0 + w) {
+                occ[y * n + x] = true;
+            }
+        }
+        true
+    };
+    let push_rect = |l: &mut Layout, x0: usize, y0: usize, w: usize, h: usize| {
+        l.push(Contact::rect(Rect::new(x0 as f64, y0 as f64, (x0 + w) as f64, (y0 + h) as f64)));
+    };
+    // rings: square annuli, outer 18, thickness 2 (four rectangles)
+    let ring_pos = [(6usize, 6usize), (102, 8), (8, 100), (100, 100)];
+    for &(rx, ry) in &ring_pos {
+        let outer = 18;
+        let t = 2;
+        // occupy the full outer square footprint (keeps interior clear of
+        // other shapes, like real guard rings)
+        if try_place(&mut occ, rx, ry, outer, outer) {
+            let rects = vec![
+                Rect::new(rx as f64, ry as f64, (rx + outer) as f64, (ry + t) as f64),
+                Rect::new(
+                    rx as f64,
+                    (ry + outer - t) as f64,
+                    (rx + outer) as f64,
+                    (ry + outer) as f64,
+                ),
+                Rect::new(rx as f64, (ry + t) as f64, (rx + t) as f64, (ry + outer - t) as f64),
+                Rect::new(
+                    (rx + outer - t) as f64,
+                    (ry + t) as f64,
+                    (rx + outer) as f64,
+                    (ry + outer - t) as f64,
+                ),
+            ];
+            l.push(Contact::new(rects));
+        }
+    }
+    // long horizontal bars (length 44-56, height 2)
+    let bars_h = [(30usize, 10usize, 56usize), (36, 30, 44), (60, 118, 48), (8, 62, 48)];
+    for &(x, y, len) in &bars_h {
+        if try_place(&mut occ, x, y, len, 2) {
+            push_rect(&mut l, x, y, len, 2);
+        }
+    }
+    // long vertical bars (width 2, length 36)
+    let bars_v = [(62usize, 40usize, 36usize), (126, 30, 36), (40, 80, 36), (90, 66, 36)];
+    for &(x, y, len) in &bars_v {
+        if try_place(&mut occ, x, y, 2, len) {
+            push_rect(&mut l, x, y, 2, len);
+        }
+    }
+    // fill with small 2x2 squares at pitch 4 where free
+    for iy in 0..(n / 4) {
+        for ix in 0..(n / 4) {
+            let x0 = ix * 4 + 1;
+            let y0 = iy * 4 + 1;
+            if try_place(&mut occ, x0, y0, 2, 2) {
+                push_rect(&mut l, x0, y0, 2, 2);
+            }
+        }
+    }
+    l
+}
+
+/// The 10240-contact large example (thesis Fig 4-10, Example 5): a dense
+/// half of small contacts (pitch 1) and a sparse half of larger contacts
+/// (pitch 2), on a 128 x 128 surface.
+pub fn example5() -> Layout {
+    let extent = 128.0;
+    let mut l = Layout::new(extent, extent);
+    // lower half: 128 x 64 small contacts, 0.6 x 0.6 at pitch 1
+    for iy in 0..64 {
+        for ix in 0..128 {
+            let x0 = ix as f64 + 0.2;
+            let y0 = iy as f64 + 0.2;
+            l.push(Contact::rect(Rect::new(x0, y0, x0 + 0.6, y0 + 0.6)));
+        }
+    }
+    // upper half: 64 x 32 larger contacts, 1.4 x 1.4 at pitch 2
+    for iy in 0..32 {
+        for ix in 0..64 {
+            let x0 = ix as f64 * 2.0 + 0.3;
+            let y0 = 64.0 + iy as f64 * 2.0 + 0.3;
+            l.push(Contact::rect(Rect::new(x0, y0, x0 + 1.4, y0 + 1.4)));
+        }
+    }
+    l
+}
+
+/// The six-contact layout of thesis Fig 4-1 (two source contacts of
+/// different sizes in one square, four destination contacts in another),
+/// used by the low-rank intuition example and Fig 4-3.
+///
+/// Returns the layout plus the index lists (source contacts, destination
+/// contacts).
+pub fn two_square_demo() -> (Layout, Vec<usize>, Vec<usize>) {
+    let mut l = Layout::new(64.0, 64.0);
+    // source square: one small and one large contact (area ratio 2.25)
+    let c1 = l.push(Contact::rect(Rect::new(10.0, 34.0, 12.0, 36.0))); // 2x2
+    let c2 = l.push(Contact::rect(Rect::new(4.0, 38.0, 7.0, 41.0))); // 3x3
+    // destination square: four same-size contacts, well separated
+    let mut dst = Vec::new();
+    for (x, y) in [(40.0, 10.0), (44.0, 10.0), (40.0, 14.0), (44.0, 14.0)] {
+        dst.push(l.push(Contact::rect(Rect::new(x, y, x + 2.0, y + 2.0))));
+    }
+    (l, vec![c1, c2], dst)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn regular_grid_counts_and_validates() {
+        let l = regular_grid(128.0, 16, 2.0);
+        assert_eq!(l.n_contacts(), 256);
+        l.validate().unwrap();
+        // every contact fits inside its level-4 square
+        let (split, map) = l.split_to_squares(4);
+        assert_eq!(split.n_contacts(), 256);
+        assert!(map.iter().all(|m| m.len() == 1));
+    }
+
+    #[test]
+    fn irregular_has_gaps_and_is_deterministic() {
+        let l1 = irregular_same_size(128.0, 32, 2.0, 7);
+        let l2 = irregular_same_size(128.0, 32, 2.0, 7);
+        assert_eq!(l1.n_contacts(), l2.n_contacts());
+        assert!(l1.n_contacts() < 1024, "holes should remove sites");
+        assert!(l1.n_contacts() > 1024 / 2, "should keep most sites");
+        l1.validate().unwrap();
+        let l3 = irregular_same_size(128.0, 32, 2.0, 8);
+        assert_ne!(l1.n_contacts(), l3.n_contacts());
+    }
+
+    #[test]
+    fn alternating_sizes() {
+        let l = alternating_grid(128.0, 8, 3.0, 1.0);
+        assert_eq!(l.n_contacts(), 64);
+        l.validate().unwrap();
+        let a0 = l.contacts()[0].area();
+        let a8 = l.contacts()[8].area();
+        assert!((a0 - 9.0).abs() < 1e-12);
+        assert!((a8 - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mixed_shapes_validates_and_splits() {
+        let l = mixed_shapes(128.0);
+        l.validate().unwrap();
+        assert!(l.n_contacts() > 500, "got {}", l.n_contacts());
+        let (split, _) = l.split_to_squares(5);
+        split.validate().unwrap();
+        assert!(split.n_contacts() > l.n_contacts(), "bars/rings should split");
+        // every piece fits in a 4-unit square
+        for c in split.contacts() {
+            let bb = c.bbox();
+            assert!((bb.x0 / 4.0).floor() == ((bb.x1 - 1e-9) / 4.0).floor());
+            assert!((bb.y0 / 4.0).floor() == ((bb.y1 - 1e-9) / 4.0).floor());
+        }
+    }
+
+    #[test]
+    fn example5_has_10240_contacts() {
+        let l = example5();
+        assert_eq!(l.n_contacts(), 10240);
+        l.validate().unwrap();
+    }
+
+    #[test]
+    fn two_square_demo_layout() {
+        let (l, src, dst) = two_square_demo();
+        assert_eq!(src.len(), 2);
+        assert_eq!(dst.len(), 4);
+        l.validate().unwrap();
+        let ratio = l.contacts()[src[1]].area() / l.contacts()[src[0]].area();
+        assert!((ratio - 2.25).abs() < 1e-12);
+    }
+}

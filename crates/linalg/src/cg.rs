@@ -1,0 +1,279 @@
+//! Conjugate gradient and preconditioned conjugate gradient.
+//!
+//! Both substrate solvers (finite difference, thesis §2.2.2, and the
+//! eigenfunction surface solver, §2.3.1) solve their symmetric positive
+//! definite systems with (P)CG through the [`LinOp`] abstraction; the
+//! preconditioner study of Table 2.1 plugs different [`LinOp`]
+//! preconditioners into [`pcg`].
+
+use crate::mat::{axpy, dot, nrm2};
+
+/// A symmetric linear operator `y = A x` applied matrix-free.
+pub trait LinOp {
+    /// Dimension of the (square) operator.
+    fn dim(&self) -> usize;
+    /// Computes `y = A x`. Implementations must not read `y`.
+    ///
+    /// # Panics
+    ///
+    /// Implementations may panic if slice lengths differ from [`dim`](Self::dim).
+    fn apply(&self, x: &[f64], y: &mut [f64]);
+}
+
+/// The identity preconditioner (plain CG when used with [`pcg`]).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct IdentityPrecond {
+    n: usize,
+}
+
+impl IdentityPrecond {
+    /// Creates an identity operator of the given dimension.
+    pub fn new(n: usize) -> Self {
+        IdentityPrecond { n }
+    }
+}
+
+impl LinOp for IdentityPrecond {
+    fn dim(&self) -> usize {
+        self.n
+    }
+    fn apply(&self, x: &[f64], y: &mut [f64]) {
+        y.copy_from_slice(x);
+    }
+}
+
+/// Outcome of a (preconditioned) conjugate gradient solve.
+#[derive(Clone, Copy, Debug)]
+pub struct CgResult {
+    /// Number of iterations performed.
+    pub iterations: usize,
+    /// Whether the relative-residual tolerance was met.
+    pub converged: bool,
+    /// Final `||b - A x|| / ||b||`.
+    pub relative_residual: f64,
+}
+
+/// Solves `A x = b` by plain conjugate gradient.
+///
+/// `x` holds the initial guess on entry and the solution on exit.
+/// Convergence is declared when the true-residual estimate drops below
+/// `tol * ||b||`.
+pub fn cg(op: &dyn LinOp, b: &[f64], x: &mut [f64], tol: f64, max_iter: usize) -> CgResult {
+    let id = IdentityPrecond::new(op.dim());
+    pcg(op, &id, b, x, tol, max_iter)
+}
+
+/// Solves `A x = b` by preconditioned conjugate gradient with
+/// preconditioner application `z = M^{-1} r` given by `precond`.
+///
+/// `precond` must be symmetric positive definite for PCG theory to hold.
+///
+/// # Panics
+///
+/// Panics if operator, preconditioner, `b` and `x` dimensions disagree.
+pub fn pcg(
+    op: &dyn LinOp,
+    precond: &dyn LinOp,
+    b: &[f64],
+    x: &mut [f64],
+    tol: f64,
+    max_iter: usize,
+) -> CgResult {
+    let n = op.dim();
+    assert_eq!(precond.dim(), n, "preconditioner dimension mismatch");
+    assert_eq!(b.len(), n, "rhs dimension mismatch");
+    assert_eq!(x.len(), n, "solution dimension mismatch");
+
+    let bnorm = nrm2(b);
+    if bnorm == 0.0 {
+        x.fill(0.0);
+        return CgResult { iterations: 0, converged: true, relative_residual: 0.0 };
+    }
+
+    let mut r = vec![0.0; n];
+    let mut ax = vec![0.0; n];
+    op.apply(x, &mut ax);
+    for i in 0..n {
+        r[i] = b[i] - ax[i];
+    }
+    let mut z = vec![0.0; n];
+    precond.apply(&r, &mut z);
+    let mut p = z.clone();
+    let mut rz = dot(&r, &z);
+    let mut relres = nrm2(&r) / bnorm;
+    if relres <= tol {
+        return CgResult { iterations: 0, converged: true, relative_residual: relres };
+    }
+
+    let mut ap = vec![0.0; n];
+    for it in 1..=max_iter {
+        op.apply(&p, &mut ap);
+        let pap = dot(&p, &ap);
+        if pap <= 0.0 || !pap.is_finite() {
+            // operator numerically indefinite or singular along p; bail out
+            return CgResult { iterations: it, converged: false, relative_residual: relres };
+        }
+        let alpha = rz / pap;
+        axpy(alpha, &p, x);
+        axpy(-alpha, &ap, &mut r);
+        relres = nrm2(&r) / bnorm;
+        if relres <= tol {
+            return CgResult { iterations: it, converged: true, relative_residual: relres };
+        }
+        precond.apply(&r, &mut z);
+        let rz_new = dot(&r, &z);
+        let beta = rz_new / rz;
+        rz = rz_new;
+        for i in 0..n {
+            p[i] = z[i] + beta * p[i];
+        }
+    }
+    CgResult { iterations: max_iter, converged: false, relative_residual: relres }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mat::Mat;
+
+    struct DenseOp(Mat);
+    impl LinOp for DenseOp {
+        fn dim(&self) -> usize {
+            self.0.n_rows()
+        }
+        fn apply(&self, x: &[f64], y: &mut [f64]) {
+            y.copy_from_slice(&self.0.matvec(x));
+        }
+    }
+
+    fn laplacian_1d(n: usize) -> Mat {
+        Mat::from_fn(n, n, |i, j| {
+            if i == j {
+                2.0
+            } else if i.abs_diff(j) == 1 {
+                -1.0
+            } else {
+                0.0
+            }
+        })
+    }
+
+    #[test]
+    fn cg_solves_laplacian() {
+        let n = 32;
+        let op = DenseOp(laplacian_1d(n));
+        let b: Vec<f64> = (0..n).map(|i| (i as f64 * 0.3).sin()).collect();
+        let mut x = vec![0.0; n];
+        let res = cg(&op, &b, &mut x, 1e-10, 500);
+        assert!(res.converged, "cg did not converge: {res:?}");
+        let mut ax = vec![0.0; n];
+        op.apply(&x, &mut ax);
+        for i in 0..n {
+            assert!((ax[i] - b[i]).abs() < 1e-8);
+        }
+    }
+
+    #[test]
+    fn exact_preconditioner_converges_immediately() {
+        let n = 16;
+        let a = laplacian_1d(n);
+        let op = DenseOp(a.clone());
+        // "Exact" preconditioner: apply A^{-1} via dense Cholesky.
+        struct InvOp(crate::chol::Cholesky, usize);
+        impl LinOp for InvOp {
+            fn dim(&self) -> usize {
+                self.1
+            }
+            fn apply(&self, x: &[f64], y: &mut [f64]) {
+                y.copy_from_slice(&self.0.solve(x));
+            }
+        }
+        let pre = InvOp(crate::chol::Cholesky::new(&a).unwrap(), n);
+        let b = vec![1.0; n];
+        let mut x = vec![0.0; n];
+        let res = pcg(&op, &pre, &b, &mut x, 1e-12, 10);
+        assert!(res.converged);
+        assert!(res.iterations <= 2, "exact preconditioner took {} iters", res.iterations);
+    }
+
+    #[test]
+    fn zero_rhs() {
+        let op = DenseOp(laplacian_1d(4));
+        let mut x = vec![1.0; 4];
+        let res = cg(&op, &[0.0; 4], &mut x, 1e-10, 10);
+        assert!(res.converged);
+        assert_eq!(x, vec![0.0; 4]);
+    }
+
+    #[test]
+    fn reports_non_convergence() {
+        let a = laplacian_1d(50);
+        struct DenseOp(Mat);
+        impl LinOp for DenseOp {
+            fn dim(&self) -> usize {
+                self.0.n_rows()
+            }
+            fn apply(&self, x: &[f64], y: &mut [f64]) {
+                y.copy_from_slice(&self.0.matvec(x));
+            }
+        }
+        let op = DenseOp(a);
+        let b = vec![1.0; 50];
+        let mut x = vec![0.0; 50];
+        let res = cg(&op, &b, &mut x, 1e-14, 2);
+        assert!(!res.converged, "2 iterations cannot solve a 50-node Laplacian");
+        assert!(res.relative_residual > 1e-14);
+        assert_eq!(res.iterations, 2);
+    }
+
+    #[test]
+    fn jacobi_pcg_beats_plain_cg_on_scaled_system() {
+        // a dominant diagonal with a 1e6 spread plus weak coupling:
+        // Jacobi preconditioning makes the system near-identity while
+        // plain CG struggles with the spread
+        let n = 64;
+        let mut a = laplacian_1d(n);
+        a.scale(0.01);
+        for i in 0..n {
+            a[(i, i)] += 10.0_f64.powi((i % 7) as i32 - 3);
+        }
+        struct DenseOp(Mat);
+        impl LinOp for DenseOp {
+            fn dim(&self) -> usize {
+                self.0.n_rows()
+            }
+            fn apply(&self, x: &[f64], y: &mut [f64]) {
+                y.copy_from_slice(&self.0.matvec(x));
+            }
+        }
+        struct JacobiOp(Vec<f64>);
+        impl LinOp for JacobiOp {
+            fn dim(&self) -> usize {
+                self.0.len()
+            }
+            fn apply(&self, r: &[f64], z: &mut [f64]) {
+                for i in 0..r.len() {
+                    z[i] = r[i] / self.0[i];
+                }
+            }
+        }
+        let diag: Vec<f64> = (0..n).map(|i| a[(i, i)]).collect();
+        let b: Vec<f64> = (0..n).map(|i| (i as f64).cos()).collect();
+        let op = DenseOp(a);
+        let mut x1 = vec![0.0; n];
+        let plain = cg(&op, &b, &mut x1, 1e-10, 10_000);
+        let mut x2 = vec![0.0; n];
+        let pre = JacobiOp(diag);
+        let jac = pcg(&op, &pre, &b, &mut x2, 1e-10, 10_000);
+        assert!(plain.converged && jac.converged);
+        assert!(
+            jac.iterations * 3 < plain.iterations * 2,
+            "jacobi {} should be at least 1.5x faster than plain {}",
+            jac.iterations,
+            plain.iterations
+        );
+        for (u, v) in x1.iter().zip(&x2) {
+            assert!((u - v).abs() < 1e-6, "solutions disagree");
+        }
+    }
+}

@@ -1,0 +1,121 @@
+//! Dense Cholesky factorization for symmetric positive definite systems.
+//!
+//! Used for small dense solves in tests and for the `DenseSolver` mock in
+//! the substrate crate (building `G` from a precomputed matrix).
+
+use crate::mat::Mat;
+
+/// Error returned when a matrix is not (numerically) positive definite.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct NotPositiveDefinite {
+    /// Index of the failing pivot.
+    pub pivot: usize,
+}
+
+impl std::fmt::Display for NotPositiveDefinite {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "matrix is not positive definite (pivot {})", self.pivot)
+    }
+}
+
+impl std::error::Error for NotPositiveDefinite {}
+
+/// Lower-triangular Cholesky factor `L` with `A = L L'`.
+#[derive(Clone, Debug)]
+pub struct Cholesky {
+    l: Mat,
+}
+
+impl Cholesky {
+    /// Factors a symmetric positive definite matrix.
+    ///
+    /// Only the lower triangle of `a` is read.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NotPositiveDefinite`] if a pivot is not strictly positive.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `a` is not square.
+    pub fn new(a: &Mat) -> Result<Self, NotPositiveDefinite> {
+        let n = a.n_rows();
+        assert_eq!(n, a.n_cols(), "Cholesky requires a square matrix");
+        let mut l = Mat::zeros(n, n);
+        for j in 0..n {
+            let mut d = a[(j, j)];
+            for k in 0..j {
+                d -= l[(j, k)] * l[(j, k)];
+            }
+            if d <= 0.0 || !d.is_finite() {
+                return Err(NotPositiveDefinite { pivot: j });
+            }
+            let dj = d.sqrt();
+            l[(j, j)] = dj;
+            for i in (j + 1)..n {
+                let mut v = a[(i, j)];
+                for k in 0..j {
+                    v -= l[(i, k)] * l[(j, k)];
+                }
+                l[(i, j)] = v / dj;
+            }
+        }
+        Ok(Cholesky { l })
+    }
+
+    /// Solves `A x = b`, returning `x`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `b.len()` does not match the matrix dimension.
+    pub fn solve(&self, b: &[f64]) -> Vec<f64> {
+        let n = self.l.n_rows();
+        assert_eq!(b.len(), n);
+        let mut x = b.to_vec();
+        // forward: L y = b
+        for i in 0..n {
+            let mut v = x[i];
+            for k in 0..i {
+                v -= self.l[(i, k)] * x[k];
+            }
+            x[i] = v / self.l[(i, i)];
+        }
+        // backward: L' x = y
+        for i in (0..n).rev() {
+            let mut v = x[i];
+            for k in (i + 1)..n {
+                v -= self.l[(k, i)] * x[k];
+            }
+            x[i] = v / self.l[(i, i)];
+        }
+        x
+    }
+
+    /// The lower-triangular factor.
+    pub fn l(&self) -> &Mat {
+        &self.l
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn solves_spd_system() {
+        let a = Mat::from_rows(&[&[4.0, 1.0, 0.0], &[1.0, 3.0, 1.0], &[0.0, 1.0, 2.0]]);
+        let ch = Cholesky::new(&a).unwrap();
+        let b = [1.0, 2.0, 3.0];
+        let x = ch.solve(&b);
+        let r = a.matvec(&x);
+        for i in 0..3 {
+            assert!((r[i] - b[i]).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn rejects_indefinite() {
+        let a = Mat::from_rows(&[&[1.0, 2.0], &[2.0, 1.0]]);
+        assert!(Cholesky::new(&a).is_err());
+    }
+}

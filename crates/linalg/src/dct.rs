@@ -1,0 +1,305 @@
+//! DCT-II plans (forward, inverse, and transpose application).
+//!
+//! The unnormalized DCT-II used throughout the workspace is
+//!
+//! ```text
+//! C_k = sum_{j=0}^{n-1} x_j cos(pi k (2j+1) / (2n)),   k = 0..n-1
+//! ```
+//!
+//! i.e. `C = E x` with `E_{kj} = cos(pi k (2j+1)/(2n))`. This kernel appears
+//! twice in the thesis:
+//!
+//! * the eigenfunction substrate solver's mode transform (§2.3.1, Fig 2-6),
+//!   where panel integrals of the cosine eigenfunctions reduce exactly to
+//!   `E`, and
+//! * the fast-Poisson FD preconditioner (§2.2.2), which diagonalizes the
+//!   Neumann Laplacian in the x/y directions.
+//!
+//! Both directions are computed via a single length-`n` FFT (Makhoul's
+//! algorithm), so a plan costs `O(n log n)` per transform with no
+//! trigonometry in the hot loop.
+
+use crate::fft::{C64, Fft};
+
+/// A DCT-II plan of fixed power-of-two length.
+#[derive(Clone, Debug)]
+pub struct Dct {
+    n: usize,
+    fft: Fft,
+    /// `exp(-i pi k / (2n))` for k < n.
+    phase: Vec<C64>,
+}
+
+impl Dct {
+    /// Creates a plan for transforms of length `n`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is zero or not a power of two.
+    pub fn new(n: usize) -> Self {
+        let fft = Fft::new(n);
+        let phase = (0..n)
+            .map(|k| {
+                let ang = -std::f64::consts::PI * k as f64 / (2.0 * n as f64);
+                C64::new(ang.cos(), ang.sin())
+            })
+            .collect();
+        Dct { n, fft, phase }
+    }
+
+    /// Transform length.
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// Returns `true` if the plan length is zero (never happens; see
+    /// [`len`](Self::len)).
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+
+    /// Forward DCT-II: `out = E x` (unnormalized).
+    ///
+    /// # Panics
+    ///
+    /// Panics if slice lengths differ from the plan length.
+    pub fn forward(&self, x: &[f64], out: &mut [f64]) {
+        let n = self.n;
+        assert_eq!(x.len(), n);
+        assert_eq!(out.len(), n);
+        if n == 1 {
+            out[0] = x[0];
+            return;
+        }
+        // Makhoul even/odd permutation: v[j] = x[2j], v[n-1-j] = x[2j+1].
+        let mut v = vec![C64::default(); n];
+        let mut j = 0;
+        let mut i = 0;
+        while i < n {
+            v[j].re = x[i];
+            i += 2;
+            j += 1;
+        }
+        let mut i = 1;
+        let mut j = n - 1;
+        while i < n {
+            v[j].re = x[i];
+            i += 2;
+            j = j.wrapping_sub(1);
+        }
+        self.fft.forward(&mut v);
+        for k in 0..n {
+            // C_k = Re(exp(-i pi k / 2n) V_k)
+            out[k] = self.phase[k].re * v[k].re - self.phase[k].im * v[k].im;
+        }
+    }
+
+    /// Inverse of [`forward`](Self::forward): given `c = E x`, recovers `x`
+    /// scaled by 1 (i.e. computes `E^{-1} c`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if slice lengths differ from the plan length.
+    pub fn inverse(&self, c: &[f64], out: &mut [f64]) {
+        let n = self.n;
+        assert_eq!(c.len(), n);
+        assert_eq!(out.len(), n);
+        if n == 1 {
+            out[0] = c[0];
+            return;
+        }
+        // Invert Makhoul: V_k = exp(+i pi k/2n) * (c_k + i c_{n-k}), c_n = 0.
+        // Note E^{-1} = (2/n) E' D^{-1}-ish; here we reverse the exact steps
+        // of `forward` instead, so inverse(forward(x)) == x.
+        let mut v = vec![C64::default(); n];
+        v[0] = C64::new(c[0], 0.0);
+        for k in 1..n {
+            let ck = c[k];
+            let cnk = c[n - k];
+            // conj(phase) = exp(+i pi k / 2n)
+            let p = C64::new(self.phase[k].re, -self.phase[k].im);
+            let z = C64::new(ck, -cnk);
+            v[k] = C64::new(p.re * z.re - p.im * z.im, p.re * z.im + p.im * z.re);
+        }
+        self.fft.inverse(&mut v);
+        let mut i = 0;
+        let mut j = 0;
+        while i < n {
+            out[i] = v[j].re;
+            i += 2;
+            j += 1;
+        }
+        let mut i = 1;
+        let mut j = n - 1;
+        while i < n {
+            out[i] = v[j].re;
+            i += 2;
+            j = j.wrapping_sub(1);
+        }
+    }
+
+    /// Transpose application: `out = E' c`, i.e.
+    /// `out_j = sum_k c_k cos(pi k (2j+1)/(2n))`.
+    ///
+    /// Uses the identity `E E' = diag(n, n/2, ..., n/2)`, so
+    /// `E' c = E^{-1} (D c)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if slice lengths differ from the plan length.
+    pub fn transpose(&self, c: &[f64], out: &mut [f64]) {
+        let n = self.n;
+        assert_eq!(c.len(), n);
+        assert_eq!(out.len(), n);
+        let mut d = vec![0.0; n];
+        d[0] = c[0] * n as f64;
+        for k in 1..n {
+            d[k] = c[k] * n as f64 / 2.0;
+        }
+        self.inverse(&d, out);
+    }
+}
+
+/// Applies a 1-D transform along every row and then every column of a
+/// row-major `ny x nx` grid, in place.
+///
+/// `dir` selects forward (`true`) or transpose (`false`) DCT-II.
+///
+/// # Panics
+///
+/// Panics if `grid.len() != nx * ny` or plan sizes don't match.
+pub fn dct2d(plan_x: &Dct, plan_y: &Dct, grid: &mut [f64], nx: usize, ny: usize, forward: bool) {
+    assert_eq!(grid.len(), nx * ny);
+    assert_eq!(plan_x.len(), nx);
+    assert_eq!(plan_y.len(), ny);
+    let mut buf = vec![0.0; nx.max(ny)];
+    // rows (x direction)
+    for r in 0..ny {
+        let row = &mut grid[r * nx..(r + 1) * nx];
+        if forward {
+            plan_x.forward(row, &mut buf[..nx]);
+        } else {
+            plan_x.transpose(row, &mut buf[..nx]);
+        }
+        row.copy_from_slice(&buf[..nx]);
+    }
+    // columns (y direction)
+    let mut col = vec![0.0; ny];
+    for cidx in 0..nx {
+        for r in 0..ny {
+            col[r] = grid[r * nx + cidx];
+        }
+        if forward {
+            plan_y.forward(&col, &mut buf[..ny]);
+        } else {
+            plan_y.transpose(&col, &mut buf[..ny]);
+        }
+        for r in 0..ny {
+            grid[r * nx + cidx] = buf[r];
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn naive_forward(x: &[f64]) -> Vec<f64> {
+        let n = x.len();
+        (0..n)
+            .map(|k| {
+                x.iter()
+                    .enumerate()
+                    .map(|(j, &xj)| {
+                        xj * (std::f64::consts::PI * k as f64 * (2 * j + 1) as f64
+                            / (2.0 * n as f64))
+                            .cos()
+                    })
+                    .sum()
+            })
+            .collect()
+    }
+
+    fn naive_transpose(c: &[f64]) -> Vec<f64> {
+        let n = c.len();
+        (0..n)
+            .map(|j| {
+                c.iter()
+                    .enumerate()
+                    .map(|(k, &ck)| {
+                        ck * (std::f64::consts::PI * k as f64 * (2 * j + 1) as f64
+                            / (2.0 * n as f64))
+                            .cos()
+                    })
+                    .sum()
+            })
+            .collect()
+    }
+
+    #[test]
+    fn forward_matches_naive() {
+        for &n in &[1usize, 2, 8, 16, 64] {
+            let plan = Dct::new(n);
+            let x: Vec<f64> = (0..n).map(|i| ((i * i + 3) as f64 * 0.1).sin()).collect();
+            let mut out = vec![0.0; n];
+            plan.forward(&x, &mut out);
+            let expect = naive_forward(&x);
+            for (a, b) in out.iter().zip(&expect) {
+                assert!((a - b).abs() < 1e-10 * n as f64, "n={n}: {a} vs {b}");
+            }
+        }
+    }
+
+    #[test]
+    fn inverse_roundtrip() {
+        for &n in &[2usize, 4, 32, 128] {
+            let plan = Dct::new(n);
+            let x: Vec<f64> = (0..n).map(|i| (i as f64 - 3.5) * 0.25).collect();
+            let mut c = vec![0.0; n];
+            let mut back = vec![0.0; n];
+            plan.forward(&x, &mut c);
+            plan.inverse(&c, &mut back);
+            for (a, b) in back.iter().zip(&x) {
+                assert!((a - b).abs() < 1e-11, "n={n}");
+            }
+        }
+    }
+
+    #[test]
+    fn transpose_matches_naive() {
+        for &n in &[2usize, 8, 32] {
+            let plan = Dct::new(n);
+            let c: Vec<f64> = (0..n).map(|i| ((i + 1) as f64).ln()).collect();
+            let mut out = vec![0.0; n];
+            plan.transpose(&c, &mut out);
+            let expect = naive_transpose(&c);
+            for (a, b) in out.iter().zip(&expect) {
+                assert!((a - b).abs() < 1e-10 * n as f64, "n={n}: {a} vs {b}");
+            }
+        }
+    }
+
+    #[test]
+    fn dct2d_forward_then_transpose_is_diagonal_scaling() {
+        // E' D^{-1} E = I where D = diag(n, n/2, ...): check that a forward
+        // 2-D transform followed by mode-wise division by d_m d_n and a
+        // transpose transform returns the input.
+        let (nx, ny) = (8, 4);
+        let px = Dct::new(nx);
+        let py = Dct::new(ny);
+        let orig: Vec<f64> = (0..nx * ny).map(|i| ((i * 7 % 13) as f64) - 6.0).collect();
+        let mut g = orig.clone();
+        dct2d(&px, &py, &mut g, nx, ny, true);
+        for r in 0..ny {
+            for c in 0..nx {
+                let dm = if c == 0 { nx as f64 } else { nx as f64 / 2.0 };
+                let dn = if r == 0 { ny as f64 } else { ny as f64 / 2.0 };
+                g[r * nx + c] /= dm * dn;
+            }
+        }
+        dct2d(&px, &py, &mut g, nx, ny, false);
+        for (a, b) in g.iter().zip(&orig) {
+            assert!((a - b).abs() < 1e-10, "{a} vs {b}");
+        }
+    }
+}

@@ -1,0 +1,196 @@
+//! Radix-2 complex FFT with precomputed twiddle factors.
+//!
+//! Backs the DCT plans in [`crate::dct`]; those in turn drive the
+//! eigenfunction substrate solver's current-to-potential operator and the
+//! fast-Poisson FD preconditioner. Sizes are restricted to powers of two,
+//! which is all the surface/volume grids use.
+
+/// A complex number stored as `(re, im)`.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct C64 {
+    /// Real part.
+    pub re: f64,
+    /// Imaginary part.
+    pub im: f64,
+}
+
+impl C64 {
+    /// Creates a complex number.
+    #[inline]
+    pub fn new(re: f64, im: f64) -> Self {
+        C64 { re, im }
+    }
+    #[inline]
+    fn mul(self, o: C64) -> C64 {
+        C64::new(self.re * o.re - self.im * o.im, self.re * o.im + self.im * o.re)
+    }
+    #[inline]
+    fn add(self, o: C64) -> C64 {
+        C64::new(self.re + o.re, self.im + o.im)
+    }
+    #[inline]
+    fn sub(self, o: C64) -> C64 {
+        C64::new(self.re - o.re, self.im - o.im)
+    }
+}
+
+/// An FFT plan for a fixed power-of-two size.
+///
+/// Precomputes bit-reversal permutation and twiddle factors so repeated
+/// transforms (the hot path of the eigenfunction solver) do no trigonometry.
+#[derive(Clone, Debug)]
+pub struct Fft {
+    n: usize,
+    rev: Vec<u32>,
+    /// twiddles[k] = exp(-2 pi i k / n) for k < n/2
+    tw: Vec<C64>,
+}
+
+impl Fft {
+    /// Creates a plan for transforms of length `n`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is zero or not a power of two.
+    pub fn new(n: usize) -> Self {
+        assert!(n > 0 && n.is_power_of_two(), "FFT size must be a power of two, got {n}");
+        let bits = n.trailing_zeros();
+        let rev: Vec<u32> = if n == 1 {
+            vec![0]
+        } else {
+            (0..n as u32).map(|i| i.reverse_bits() >> (32 - bits)).collect()
+        };
+        let tw: Vec<C64> = (0..n / 2)
+            .map(|k| {
+                let ang = -2.0 * std::f64::consts::PI * k as f64 / n as f64;
+                C64::new(ang.cos(), ang.sin())
+            })
+            .collect();
+        Fft { n, rev, tw }
+    }
+
+    /// Transform length.
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// Returns `true` if the plan length is zero (never; kept for API
+    /// completeness alongside [`len`](Self::len)).
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+
+    /// In-place forward DFT: `X_k = sum_j x_j exp(-2 pi i j k / n)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data.len()` differs from the plan length.
+    pub fn forward(&self, data: &mut [C64]) {
+        self.transform(data, false);
+    }
+
+    /// In-place inverse DFT including the `1/n` normalization.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data.len()` differs from the plan length.
+    pub fn inverse(&self, data: &mut [C64]) {
+        self.transform(data, true);
+        let inv = 1.0 / self.n as f64;
+        for v in data.iter_mut() {
+            v.re *= inv;
+            v.im *= inv;
+        }
+    }
+
+    fn transform(&self, data: &mut [C64], inverse: bool) {
+        let n = self.n;
+        assert_eq!(data.len(), n, "FFT buffer length mismatch");
+        if n == 1 {
+            return;
+        }
+        // bit-reversal permutation
+        for i in 0..n {
+            let j = self.rev[i] as usize;
+            if i < j {
+                data.swap(i, j);
+            }
+        }
+        let mut len = 2;
+        while len <= n {
+            let half = len / 2;
+            let step = n / len;
+            let mut base = 0;
+            while base < n {
+                for k in 0..half {
+                    let mut w = self.tw[k * step];
+                    if inverse {
+                        w.im = -w.im;
+                    }
+                    let u = data[base + k];
+                    let v = data[base + k + half].mul(w);
+                    data[base + k] = u.add(v);
+                    data[base + k + half] = u.sub(v);
+                }
+                base += len;
+            }
+            len <<= 1;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn naive_dft(x: &[C64]) -> Vec<C64> {
+        let n = x.len();
+        (0..n)
+            .map(|k| {
+                let mut acc = C64::default();
+                for (j, &xj) in x.iter().enumerate() {
+                    let ang = -2.0 * std::f64::consts::PI * (j * k) as f64 / n as f64;
+                    acc = acc.add(xj.mul(C64::new(ang.cos(), ang.sin())));
+                }
+                acc
+            })
+            .collect()
+    }
+
+    #[test]
+    fn matches_naive_dft() {
+        for &n in &[1usize, 2, 4, 8, 32, 128] {
+            let plan = Fft::new(n);
+            let mut x: Vec<C64> = (0..n)
+                .map(|i| C64::new((i as f64 * 0.7).sin(), (i as f64 * 1.3).cos()))
+                .collect();
+            let expect = naive_dft(&x);
+            plan.forward(&mut x);
+            for (a, b) in x.iter().zip(&expect) {
+                assert!((a.re - b.re).abs() < 1e-9 * n as f64, "n={n}");
+                assert!((a.im - b.im).abs() < 1e-9 * n as f64, "n={n}");
+            }
+        }
+    }
+
+    #[test]
+    fn roundtrip() {
+        let n = 64;
+        let plan = Fft::new(n);
+        let orig: Vec<C64> =
+            (0..n).map(|i| C64::new((i as f64).sqrt(), -(i as f64) * 0.01)).collect();
+        let mut x = orig.clone();
+        plan.forward(&mut x);
+        plan.inverse(&mut x);
+        for (a, b) in x.iter().zip(&orig) {
+            assert!((a.re - b.re).abs() < 1e-12);
+            assert!((a.im - b.im).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn rejects_non_power_of_two() {
+        let _ = Fft::new(12);
+    }
+}

@@ -1,0 +1,236 @@
+//! Matrix Market I/O for sparse matrices.
+//!
+//! The extracted `Q` and `Gw` matrices are what downstream circuit
+//! simulators consume; Matrix Market (`%%MatrixMarket matrix coordinate
+//! real general`) is the lingua franca for moving them between tools.
+
+use std::fmt;
+use std::io::{self, BufRead, Write};
+
+use crate::sparse::{Csr, Triplets};
+
+/// Errors reading a Matrix Market file.
+#[derive(Debug)]
+pub enum ReadMatrixError {
+    /// Underlying I/O failure.
+    Io(io::Error),
+    /// The file is not a coordinate real general Matrix Market file.
+    UnsupportedFormat(String),
+    /// Malformed header or entry line.
+    Parse {
+        /// 1-based line number.
+        line: usize,
+        /// What went wrong.
+        message: String,
+    },
+}
+
+impl fmt::Display for ReadMatrixError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ReadMatrixError::Io(e) => write!(f, "i/o error: {e}"),
+            ReadMatrixError::UnsupportedFormat(h) => {
+                write!(f, "unsupported matrix market format: {h}")
+            }
+            ReadMatrixError::Parse { line, message } => {
+                write!(f, "parse error on line {line}: {message}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ReadMatrixError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ReadMatrixError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<io::Error> for ReadMatrixError {
+    fn from(e: io::Error) -> Self {
+        ReadMatrixError::Io(e)
+    }
+}
+
+/// Writes a CSR matrix in Matrix Market coordinate format (1-based
+/// indices, full precision).
+///
+/// # Errors
+///
+/// Returns any I/O error from the writer.
+pub fn write_matrix_market<W: Write>(m: &Csr, mut w: W) -> io::Result<()> {
+    writeln!(w, "%%MatrixMarket matrix coordinate real general")?;
+    writeln!(w, "% written by subsparse")?;
+    writeln!(w, "{} {} {}", m.n_rows(), m.n_cols(), m.nnz())?;
+    for (i, j, v) in m.iter() {
+        writeln!(w, "{} {} {v:.17e}", i + 1, j + 1)?;
+    }
+    Ok(())
+}
+
+/// Reads a coordinate real general Matrix Market file into a CSR matrix.
+/// Duplicate entries are summed, as the format allows.
+///
+/// # Errors
+///
+/// Returns an error on I/O failure, an unsupported header (only
+/// `coordinate real general` and `coordinate real symmetric` are
+/// handled), or malformed content. Symmetric files are expanded to full
+/// storage.
+pub fn read_matrix_market<R: BufRead>(r: R) -> Result<Csr, ReadMatrixError> {
+    let mut lines = r.lines().enumerate();
+    // header
+    let (_, header) = lines
+        .next()
+        .ok_or_else(|| ReadMatrixError::UnsupportedFormat("empty file".into()))?;
+    let header = header?;
+    let h = header.to_ascii_lowercase();
+    let symmetric = if h.starts_with("%%matrixmarket matrix coordinate real general") {
+        false
+    } else if h.starts_with("%%matrixmarket matrix coordinate real symmetric") {
+        true
+    } else {
+        return Err(ReadMatrixError::UnsupportedFormat(header));
+    };
+    // size line (skipping comments)
+    let mut size: Option<(usize, usize, usize)> = None;
+    let mut trips: Option<Triplets> = None;
+    let mut remaining = 0usize;
+    for (idx, line) in lines {
+        let line = line?;
+        let t = line.trim();
+        if t.is_empty() || t.starts_with('%') {
+            continue;
+        }
+        let fields: Vec<&str> = t.split_whitespace().collect();
+        match size {
+            None => {
+                if fields.len() != 3 {
+                    return Err(ReadMatrixError::Parse {
+                        line: idx + 1,
+                        message: "size line must have three fields".into(),
+                    });
+                }
+                let parse = |s: &str| -> Result<usize, ReadMatrixError> {
+                    s.parse().map_err(|_| ReadMatrixError::Parse {
+                        line: idx + 1,
+                        message: format!("bad integer {s:?}"),
+                    })
+                };
+                let (nr, nc, nnz) = (parse(fields[0])?, parse(fields[1])?, parse(fields[2])?);
+                size = Some((nr, nc, nnz));
+                trips = Some(Triplets::new(nr, nc));
+                remaining = nnz;
+            }
+            Some((nr, nc, _)) => {
+                if fields.len() != 3 {
+                    return Err(ReadMatrixError::Parse {
+                        line: idx + 1,
+                        message: "entry line must have three fields".into(),
+                    });
+                }
+                let i: usize = fields[0].parse().map_err(|_| ReadMatrixError::Parse {
+                    line: idx + 1,
+                    message: format!("bad row index {:?}", fields[0]),
+                })?;
+                let j: usize = fields[1].parse().map_err(|_| ReadMatrixError::Parse {
+                    line: idx + 1,
+                    message: format!("bad column index {:?}", fields[1]),
+                })?;
+                let v: f64 = fields[2].parse().map_err(|_| ReadMatrixError::Parse {
+                    line: idx + 1,
+                    message: format!("bad value {:?}", fields[2]),
+                })?;
+                if i == 0 || j == 0 || i > nr || j > nc {
+                    return Err(ReadMatrixError::Parse {
+                        line: idx + 1,
+                        message: format!("index ({i},{j}) out of bounds for {nr}x{nc}"),
+                    });
+                }
+                let t = trips.as_mut().expect("size parsed implies triplets");
+                t.push(i - 1, j - 1, v);
+                if symmetric && i != j {
+                    t.push(j - 1, i - 1, v);
+                }
+                remaining = remaining.saturating_sub(1);
+            }
+        }
+    }
+    match (size, remaining) {
+        (Some(_), 0) => Ok(trips.expect("size parsed").to_csr()),
+        (Some(_), missing) => Err(ReadMatrixError::Parse {
+            line: 0,
+            message: format!("{missing} entries missing"),
+        }),
+        (None, _) => Err(ReadMatrixError::Parse { line: 0, message: "no size line".into() }),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mat::Mat;
+
+    #[test]
+    fn roundtrip() {
+        let dense = Mat::from_rows(&[&[1.5, 0.0, -2.25], &[0.0, 3.0e-7, 0.0]]);
+        let m = Csr::from_dense(&dense, 0.0);
+        let mut buf = Vec::new();
+        write_matrix_market(&m, &mut buf).unwrap();
+        let back = read_matrix_market(&buf[..]).unwrap();
+        assert_eq!(back.n_rows(), 2);
+        assert_eq!(back.n_cols(), 3);
+        assert_eq!(back.nnz(), 3);
+        let d = back.to_dense();
+        for i in 0..2 {
+            for j in 0..3 {
+                assert_eq!(d[(i, j)], dense[(i, j)]);
+            }
+        }
+    }
+
+    #[test]
+    fn reads_symmetric_files() {
+        let text = "%%MatrixMarket matrix coordinate real symmetric\n\
+                    % comment\n\
+                    2 2 2\n\
+                    1 1 4.0\n\
+                    2 1 -1.0\n";
+        let m = read_matrix_market(text.as_bytes()).unwrap();
+        let d = m.to_dense();
+        assert_eq!(d[(0, 0)], 4.0);
+        assert_eq!(d[(0, 1)], -1.0);
+        assert_eq!(d[(1, 0)], -1.0);
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(matches!(
+            read_matrix_market("%%MatrixMarket matrix array real general\n".as_bytes()),
+            Err(ReadMatrixError::UnsupportedFormat(_))
+        ));
+        let text = "%%MatrixMarket matrix coordinate real general\n2 2 1\n3 1 1.0\n";
+        assert!(matches!(
+            read_matrix_market(text.as_bytes()),
+            Err(ReadMatrixError::Parse { .. })
+        ));
+        let text = "%%MatrixMarket matrix coordinate real general\n2 2 2\n1 1 1.0\n";
+        assert!(matches!(
+            read_matrix_market(text.as_bytes()),
+            Err(ReadMatrixError::Parse { .. })
+        ));
+    }
+
+    #[test]
+    fn empty_matrix_roundtrip() {
+        let m = Csr::zeros(3, 4);
+        let mut buf = Vec::new();
+        write_matrix_market(&m, &mut buf).unwrap();
+        let back = read_matrix_market(&buf[..]).unwrap();
+        assert_eq!(back.nnz(), 0);
+        assert_eq!(back.n_rows(), 3);
+        assert_eq!(back.n_cols(), 4);
+    }
+}

@@ -1,0 +1,297 @@
+//! Compressed sparse row matrices.
+//!
+//! The change-of-basis matrix `Q` and the sparsified conductance matrix
+//! `Gw` are stored in CSR form; the headline cost claims of the thesis
+//! (`O(n log n)` apply, sparsity factors in Tables 3.1/4.1–4.3) are
+//! measured on these.
+
+use crate::mat::Mat;
+
+/// A triplet (COO) accumulator for building [`Csr`] matrices.
+///
+/// Duplicate entries are summed during conversion.
+#[derive(Clone, Debug, Default)]
+pub struct Triplets {
+    n_rows: usize,
+    n_cols: usize,
+    entries: Vec<(u32, u32, f64)>,
+}
+
+impl Triplets {
+    /// Creates an empty accumulator with the given shape.
+    pub fn new(n_rows: usize, n_cols: usize) -> Self {
+        Triplets { n_rows, n_cols, entries: Vec::new() }
+    }
+
+    /// Adds `value` at `(row, col)`; duplicates accumulate.
+    ///
+    /// Zero values are skipped.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the indices are out of bounds.
+    pub fn push(&mut self, row: usize, col: usize, value: f64) {
+        assert!(row < self.n_rows && col < self.n_cols, "triplet index out of bounds");
+        if value != 0.0 {
+            self.entries.push((row as u32, col as u32, value));
+        }
+    }
+
+    /// Number of raw (pre-deduplication) entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether no entries have been pushed.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Converts to CSR, summing duplicates.
+    pub fn to_csr(&self) -> Csr {
+        let mut ents = self.entries.clone();
+        ents.sort_unstable_by_key(|&(r, c, _)| ((r as u64) << 32) | c as u64);
+        let mut indptr = vec![0usize; self.n_rows + 1];
+        let mut indices = Vec::with_capacity(ents.len());
+        let mut data = Vec::with_capacity(ents.len());
+        let mut i = 0;
+        while i < ents.len() {
+            let (r, c, mut v) = ents[i];
+            let mut j = i + 1;
+            while j < ents.len() && ents[j].0 == r && ents[j].1 == c {
+                v += ents[j].2;
+                j += 1;
+            }
+            indptr[r as usize + 1] += 1;
+            indices.push(c);
+            data.push(v);
+            i = j;
+        }
+        for r in 0..self.n_rows {
+            indptr[r + 1] += indptr[r];
+        }
+        Csr { n_rows: self.n_rows, n_cols: self.n_cols, indptr, indices, data }
+    }
+}
+
+/// A compressed sparse row matrix.
+#[derive(Clone, Debug)]
+pub struct Csr {
+    n_rows: usize,
+    n_cols: usize,
+    indptr: Vec<usize>,
+    indices: Vec<u32>,
+    data: Vec<f64>,
+}
+
+impl Csr {
+    /// Creates an empty (all-zero) matrix of the given shape.
+    pub fn zeros(n_rows: usize, n_cols: usize) -> Self {
+        Csr { n_rows, n_cols, indptr: vec![0; n_rows + 1], indices: Vec::new(), data: Vec::new() }
+    }
+
+    /// The identity matrix.
+    pub fn identity(n: usize) -> Self {
+        Csr {
+            n_rows: n,
+            n_cols: n,
+            indptr: (0..=n).collect(),
+            indices: (0..n as u32).collect(),
+            data: vec![1.0; n],
+        }
+    }
+
+    /// Builds a CSR matrix from a dense one, keeping entries with
+    /// `|a_ij| > threshold`.
+    pub fn from_dense(a: &Mat, threshold: f64) -> Self {
+        let mut t = Triplets::new(a.n_rows(), a.n_cols());
+        for j in 0..a.n_cols() {
+            let col = a.col(j);
+            for (i, &v) in col.iter().enumerate() {
+                if v.abs() > threshold {
+                    t.push(i, j, v);
+                }
+            }
+        }
+        t.to_csr()
+    }
+
+    /// Number of rows.
+    pub fn n_rows(&self) -> usize {
+        self.n_rows
+    }
+
+    /// Number of columns.
+    pub fn n_cols(&self) -> usize {
+        self.n_cols
+    }
+
+    /// Number of stored nonzeros.
+    pub fn nnz(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Sparsity factor `n_rows * n_cols / nnz` (the thesis's "sparsity").
+    ///
+    /// Returns infinity for an all-zero matrix.
+    pub fn sparsity_factor(&self) -> f64 {
+        if self.nnz() == 0 {
+            f64::INFINITY
+        } else {
+            (self.n_rows as f64) * (self.n_cols as f64) / self.nnz() as f64
+        }
+    }
+
+    /// Row `i` as `(column indices, values)`.
+    pub fn row(&self, i: usize) -> (&[u32], &[f64]) {
+        let (a, b) = (self.indptr[i], self.indptr[i + 1]);
+        (&self.indices[a..b], &self.data[a..b])
+    }
+
+    /// Computes `y = A x`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on dimension mismatch.
+    pub fn matvec(&self, x: &[f64]) -> Vec<f64> {
+        assert_eq!(x.len(), self.n_cols, "csr matvec dimension mismatch");
+        let mut y = vec![0.0; self.n_rows];
+        for i in 0..self.n_rows {
+            let (cols, vals) = self.row(i);
+            let mut acc = 0.0;
+            for (c, v) in cols.iter().zip(vals) {
+                acc += v * x[*c as usize];
+            }
+            y[i] = acc;
+        }
+        y
+    }
+
+    /// Computes `y = A' x`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on dimension mismatch.
+    pub fn matvec_t(&self, x: &[f64]) -> Vec<f64> {
+        assert_eq!(x.len(), self.n_rows, "csr matvec_t dimension mismatch");
+        let mut y = vec![0.0; self.n_cols];
+        for i in 0..self.n_rows {
+            let xi = x[i];
+            if xi == 0.0 {
+                continue;
+            }
+            let (cols, vals) = self.row(i);
+            for (c, v) in cols.iter().zip(vals) {
+                y[*c as usize] += v * xi;
+            }
+        }
+        y
+    }
+
+    /// Returns the transpose.
+    pub fn transpose(&self) -> Csr {
+        let mut t = Triplets::new(self.n_cols, self.n_rows);
+        for i in 0..self.n_rows {
+            let (cols, vals) = self.row(i);
+            for (c, v) in cols.iter().zip(vals) {
+                t.push(*c as usize, i, *v);
+            }
+        }
+        t.to_csr()
+    }
+
+    /// Converts to a dense matrix.
+    pub fn to_dense(&self) -> Mat {
+        let mut m = Mat::zeros(self.n_rows, self.n_cols);
+        for i in 0..self.n_rows {
+            let (cols, vals) = self.row(i);
+            for (c, v) in cols.iter().zip(vals) {
+                m[(i, *c as usize)] += *v;
+            }
+        }
+        m
+    }
+
+    /// Returns a copy with entries `|a_ij| <= threshold` dropped.
+    pub fn drop_below(&self, threshold: f64) -> Csr {
+        let mut t = Triplets::new(self.n_rows, self.n_cols);
+        for i in 0..self.n_rows {
+            let (cols, vals) = self.row(i);
+            for (c, v) in cols.iter().zip(vals) {
+                if v.abs() > threshold {
+                    t.push(i, *c as usize, *v);
+                }
+            }
+        }
+        t.to_csr()
+    }
+
+    /// All stored absolute values (used for threshold selection).
+    pub fn abs_values(&self) -> Vec<f64> {
+        self.data.iter().map(|v| v.abs()).collect()
+    }
+
+    /// Iterates over `(row, col, value)` of stored entries.
+    pub fn iter(&self) -> impl Iterator<Item = (usize, usize, f64)> + '_ {
+        (0..self.n_rows).flat_map(move |i| {
+            let (cols, vals) = self.row(i);
+            cols.iter().zip(vals).map(move |(c, v)| (i, *c as usize, *v))
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn build_and_matvec() {
+        let mut t = Triplets::new(3, 3);
+        t.push(0, 0, 2.0);
+        t.push(1, 2, 3.0);
+        t.push(1, 2, 1.0); // duplicate accumulates
+        t.push(2, 1, -1.0);
+        let a = t.to_csr();
+        assert_eq!(a.nnz(), 3);
+        let y = a.matvec(&[1.0, 2.0, 3.0]);
+        assert_eq!(y, vec![2.0, 12.0, -2.0]);
+        let yt = a.matvec_t(&[1.0, 1.0, 1.0]);
+        assert_eq!(yt, vec![2.0, -1.0, 4.0]);
+    }
+
+    #[test]
+    fn transpose_roundtrip() {
+        let mut t = Triplets::new(2, 4);
+        t.push(0, 3, 5.0);
+        t.push(1, 0, -2.0);
+        let a = t.to_csr();
+        let att = a.transpose().transpose();
+        let (d1, d2) = (a.to_dense(), att.to_dense());
+        for i in 0..2 {
+            for j in 0..4 {
+                assert_eq!(d1[(i, j)], d2[(i, j)]);
+            }
+        }
+    }
+
+    #[test]
+    fn dense_roundtrip_with_threshold() {
+        let m = Mat::from_rows(&[&[1.0, 1e-12], &[0.0, -3.0]]);
+        let a = Csr::from_dense(&m, 1e-9);
+        assert_eq!(a.nnz(), 2);
+        assert_eq!(a.sparsity_factor(), 2.0);
+        let d = a.to_dense();
+        assert_eq!(d[(0, 0)], 1.0);
+        assert_eq!(d[(0, 1)], 0.0);
+        assert_eq!(d[(1, 1)], -3.0);
+    }
+
+    #[test]
+    fn drop_below_keeps_large() {
+        let m = Mat::from_rows(&[&[1.0, 0.5], &[0.25, -3.0]]);
+        let a = Csr::from_dense(&m, 0.0);
+        let b = a.drop_below(0.4);
+        assert_eq!(b.nnz(), 3);
+        assert_eq!(b.to_dense()[(1, 0)], 0.0);
+    }
+}

@@ -1,0 +1,231 @@
+//! One-sided Jacobi singular value decomposition.
+//!
+//! The extraction algorithms use the SVD in two roles:
+//!
+//! * splitting voltage spaces into "vanishing-moment" and "leftover" parts
+//!   (wavelet basis construction, thesis §3.4), and
+//! * finding low-rank row bases of sampled interaction blocks (low-rank
+//!   method, thesis §4.3) and recombining slow-decaying basis functions
+//!   (§4.4).
+//!
+//! All of these involve matrices with at most a few dozen columns, for which
+//! one-sided Jacobi is simple, robust, and highly accurate.
+
+use crate::mat::{dot, nrm2, Mat};
+
+/// Thin singular value decomposition `A = U diag(s) V'`.
+///
+/// For an `m x n` matrix with `k = min(m, n)`, `u` is `m x k`, `s` has
+/// length `k` (non-increasing, non-negative) and `v` is `n x k`.
+#[derive(Clone, Debug)]
+pub struct Svd {
+    /// Left singular vectors (orthonormal columns).
+    pub u: Mat,
+    /// Singular values, sorted in non-increasing order.
+    pub s: Vec<f64>,
+    /// Right singular vectors (orthonormal columns).
+    pub v: Mat,
+}
+
+impl Svd {
+    /// Number of singular values `s[i]` with `s[i] > rel_tol * s[0]`,
+    /// optionally capped at `max_rank`.
+    ///
+    /// This is the rank-truncation rule of the thesis (§4.6): keep singular
+    /// values larger than 1/100 of the largest, up to 6.
+    pub fn rank(&self, rel_tol: f64, max_rank: Option<usize>) -> usize {
+        if self.s.is_empty() || self.s[0] <= 0.0 {
+            return 0;
+        }
+        let thresh = rel_tol * self.s[0];
+        let mut r = self.s.iter().take_while(|&&x| x > thresh).count();
+        if let Some(cap) = max_rank {
+            r = r.min(cap);
+        }
+        r
+    }
+}
+
+const MAX_SWEEPS: usize = 60;
+
+/// Computes the thin SVD of `a` by one-sided Jacobi iteration.
+///
+/// Works for any shape, including empty matrices (returns empty factors).
+/// Accuracy is at the level of machine precision relative to `||A||`.
+pub fn svd(a: &Mat) -> Svd {
+    let (m, n) = (a.n_rows(), a.n_cols());
+    if m == 0 || n == 0 {
+        let k = m.min(n);
+        return Svd { u: Mat::zeros(m, k), s: vec![0.0; k], v: Mat::zeros(n, k) };
+    }
+    if m < n {
+        // SVD of the transpose, then swap factors.
+        let f = svd(&a.transpose());
+        return Svd { u: f.v, s: f.s, v: f.u };
+    }
+    // m >= n: orthogonalize the columns of a working copy of A.
+    let mut w = a.clone();
+    let mut v = Mat::identity(n);
+    let eps = f64::EPSILON;
+    for _sweep in 0..MAX_SWEEPS {
+        let mut rotated = false;
+        for p in 0..n {
+            for q in (p + 1)..n {
+                let (alpha, beta, gamma) = {
+                    let cp = w.col(p);
+                    let cq = w.col(q);
+                    (dot(cp, cp), dot(cq, cq), dot(cp, cq))
+                };
+                if gamma.abs() <= 1e2 * eps * (alpha * beta).sqrt() || gamma == 0.0 {
+                    continue;
+                }
+                rotated = true;
+                // Jacobi rotation zeroing the (p,q) Gram entry.
+                let zeta = (beta - alpha) / (2.0 * gamma);
+                let t = zeta.signum() / (zeta.abs() + (1.0 + zeta * zeta).sqrt());
+                let c = 1.0 / (1.0 + t * t).sqrt();
+                let s = c * t;
+                rotate_cols(&mut w, p, q, c, s);
+                rotate_cols(&mut v, p, q, c, s);
+            }
+        }
+        if !rotated {
+            break;
+        }
+    }
+    // Extract singular values and left vectors, then sort descending.
+    let mut svals: Vec<f64> = (0..n).map(|j| nrm2(w.col(j))).collect();
+    let mut order: Vec<usize> = (0..n).collect();
+    order.sort_by(|&i, &j| svals[j].partial_cmp(&svals[i]).unwrap());
+    let mut u = Mat::zeros(m, n);
+    let mut vout = Mat::zeros(n, n);
+    let mut sout = vec![0.0; n];
+    for (k, &j) in order.iter().enumerate() {
+        sout[k] = svals[j];
+        let sj = svals[j];
+        let wc = w.col(j);
+        let uc = u.col_mut(k);
+        if sj > 0.0 {
+            for i in 0..m {
+                uc[i] = wc[i] / sj;
+            }
+        }
+        vout.col_mut(k).copy_from_slice(v.col(j));
+    }
+    svals.clear();
+    Svd { u, s: sout, v: vout }
+}
+
+fn rotate_cols(m: &mut Mat, p: usize, q: usize, c: f64, s: f64) {
+    let rows = m.n_rows();
+    // Split borrows manually: columns are disjoint slices.
+    let (pi, qi) = (p.min(q), p.max(q));
+    debug_assert!(pi < qi);
+    // Work through raw indexing to rotate both columns in one pass.
+    for i in 0..rows {
+        let a = m[(i, p)];
+        let b = m[(i, q)];
+        m[(i, p)] = c * a - s * b;
+        m[(i, q)] = s * a + c * b;
+    }
+    let _ = (pi, qi);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mat::Mat;
+
+    fn check_factorization(a: &Mat, f: &Svd, tol: f64) {
+        // A ~= U S V'
+        let mut usv = Mat::zeros(a.n_rows(), a.n_cols());
+        for k in 0..f.s.len() {
+            for j in 0..a.n_cols() {
+                let vkj = f.v[(j, k)];
+                for i in 0..a.n_rows() {
+                    usv[(i, j)] += f.u[(i, k)] * f.s[k] * vkj;
+                }
+            }
+        }
+        usv.add_scaled(-1.0, a);
+        let scale = a.fro_norm().max(1.0);
+        assert!(usv.fro_norm() <= tol * scale, "residual {} too big", usv.fro_norm());
+        // V orthonormal columns
+        let vtv = f.v.matmul_tn(&f.v);
+        for i in 0..vtv.n_rows() {
+            for j in 0..vtv.n_cols() {
+                let expect = if i == j { 1.0 } else { 0.0 };
+                assert!((vtv[(i, j)] - expect).abs() < 1e-10, "V not orthonormal");
+            }
+        }
+    }
+
+    #[test]
+    fn diagonal_matrix() {
+        let a = Mat::from_rows(&[&[3.0, 0.0], &[0.0, -5.0], &[0.0, 0.0]]);
+        let f = svd(&a);
+        assert!((f.s[0] - 5.0).abs() < 1e-12);
+        assert!((f.s[1] - 3.0).abs() < 1e-12);
+        check_factorization(&a, &f, 1e-12);
+    }
+
+    #[test]
+    fn wide_matrix() {
+        let a = Mat::from_fn(3, 7, |i, j| ((i + 1) as f64).powi(j as i32) * 0.1);
+        let f = svd(&a);
+        assert_eq!(f.u.n_cols(), 3);
+        assert_eq!(f.v.n_cols(), 3);
+        check_factorization(&a, &f, 1e-10);
+    }
+
+    #[test]
+    fn rank_deficient() {
+        // rank 1 matrix
+        let a = Mat::from_fn(5, 4, |i, j| ((i + 1) * (j + 1)) as f64);
+        let f = svd(&a);
+        assert!(f.s[1] < 1e-10 * f.s[0]);
+        assert_eq!(f.rank(1e-6, None), 1);
+        assert_eq!(f.rank(1e-6, Some(3)), 1);
+        check_factorization(&a, &f, 1e-10);
+    }
+
+    #[test]
+    fn known_singular_values() {
+        // A = [[1,1],[0,1]]: singular values are sqrt((3 +- sqrt(5))/2)
+        let a = Mat::from_rows(&[&[1.0, 1.0], &[0.0, 1.0]]);
+        let f = svd(&a);
+        let s1 = ((3.0 + 5.0_f64.sqrt()) / 2.0).sqrt();
+        let s2 = ((3.0 - 5.0_f64.sqrt()) / 2.0).sqrt();
+        assert!((f.s[0] - s1).abs() < 1e-12);
+        assert!((f.s[1] - s2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_and_degenerate() {
+        let f = svd(&Mat::zeros(0, 3));
+        assert_eq!(f.s.len(), 0);
+        let f = svd(&Mat::zeros(4, 2));
+        assert_eq!(f.s, vec![0.0, 0.0]);
+        assert_eq!(f.rank(1e-2, None), 0);
+    }
+
+    #[test]
+    fn random_like_matrix_orthogonality() {
+        // deterministic pseudo-random fill
+        let mut state = 123456789u64;
+        let mut rnd = move || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            ((state >> 33) as f64 / (1u64 << 31) as f64) - 1.0
+        };
+        let a = Mat::from_fn(20, 9, |_, _| rnd());
+        let f = svd(&a);
+        check_factorization(&a, &f, 1e-10);
+        let utu = f.u.matmul_tn(&f.u);
+        for i in 0..9 {
+            for j in 0..9 {
+                let expect = if i == j { 1.0 } else { 0.0 };
+                assert!((utu[(i, j)] - expect).abs() < 1e-9);
+            }
+        }
+    }
+}

@@ -1,0 +1,126 @@
+//! Tridiagonal solves (Thomas algorithm).
+//!
+//! The fast-Poisson preconditioner (thesis §2.2.2) reduces the 3-D grid
+//! Laplacian to one independent tridiagonal system in the z direction per
+//! (kx, ky) cosine mode; these are solved here.
+
+/// Solves a tridiagonal system `T x = rhs` in place.
+///
+/// `lower[i]` is `T[i+1][i]`, `diag[i]` is `T[i][i]`, `upper[i]` is
+/// `T[i][i+1]`; `lower` and `upper` have length `n-1`. On exit `rhs` holds
+/// the solution. The scratch buffer `scratch` must have length `n`.
+///
+/// No pivoting is performed; the fast-Poisson matrices are strictly
+/// diagonally dominant so plain elimination is stable.
+///
+/// # Panics
+///
+/// Panics on length mismatches or if a pivot is exactly zero.
+pub fn solve_in_place(
+    lower: &[f64],
+    diag: &[f64],
+    upper: &[f64],
+    rhs: &mut [f64],
+    scratch: &mut [f64],
+) {
+    let n = diag.len();
+    assert_eq!(rhs.len(), n);
+    assert_eq!(scratch.len(), n);
+    assert_eq!(lower.len(), n.saturating_sub(1));
+    assert_eq!(upper.len(), n.saturating_sub(1));
+    if n == 0 {
+        return;
+    }
+    // forward sweep: scratch holds modified upper diagonal
+    let mut d = diag[0];
+    assert!(d != 0.0, "zero pivot in tridiagonal solve");
+    scratch[0] = upper.first().copied().unwrap_or(0.0) / d;
+    rhs[0] /= d;
+    for i in 1..n {
+        d = diag[i] - lower[i - 1] * scratch[i - 1];
+        assert!(d != 0.0, "zero pivot in tridiagonal solve");
+        if i < n - 1 {
+            scratch[i] = upper[i] / d;
+        }
+        rhs[i] = (rhs[i] - lower[i - 1] * rhs[i - 1]) / d;
+    }
+    // back substitution
+    for i in (0..n - 1).rev() {
+        rhs[i] -= scratch[i] * rhs[i + 1];
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn solves_known_system() {
+        // T = [[2,-1,0],[-1,2,-1],[0,-1,2]], b = [1,0,1] => x = [1,1,1]
+        let lower = [-1.0, -1.0];
+        let diag = [2.0, 2.0, 2.0];
+        let upper = [-1.0, -1.0];
+        let mut rhs = [1.0, 0.0, 1.0];
+        let mut scratch = [0.0; 3];
+        solve_in_place(&lower, &diag, &upper, &mut rhs, &mut scratch);
+        for v in rhs {
+            assert!((v - 1.0).abs() < 1e-14);
+        }
+    }
+
+    #[test]
+    fn matches_dense_solve() {
+        let n = 17;
+        let lower: Vec<f64> = (0..n - 1).map(|i| -(1.0 + 0.1 * i as f64)).collect();
+        let upper = lower.clone();
+        let diag: Vec<f64> = (0..n).map(|i| 4.0 + 0.05 * i as f64).collect();
+        let b: Vec<f64> = (0..n).map(|i| (i as f64 * 0.9).cos()).collect();
+        let mut x = b.clone();
+        let mut scratch = vec![0.0; n];
+        solve_in_place(&lower, &diag, &upper, &mut x, &mut scratch);
+        // verify residual
+        for i in 0..n {
+            let mut ax = diag[i] * x[i];
+            if i > 0 {
+                ax += lower[i - 1] * x[i - 1];
+            }
+            if i + 1 < n {
+                ax += upper[i] * x[i + 1];
+            }
+            assert!((ax - b[i]).abs() < 1e-11);
+        }
+    }
+
+    #[test]
+    fn single_element() {
+        let mut rhs = [6.0];
+        let mut scratch = [0.0];
+        solve_in_place(&[], &[3.0], &[], &mut rhs, &mut scratch);
+        assert!((rhs[0] - 2.0).abs() < 1e-15);
+    }
+
+    #[test]
+    fn agrees_with_dense_cholesky() {
+        // symmetric diagonally dominant tridiagonal vs dense Cholesky
+        let n = 12;
+        let sub: Vec<f64> = (0..n - 1).map(|i| -(1.0 + (i % 3) as f64 * 0.25)).collect();
+        let diag: Vec<f64> = (0..n).map(|i| 4.0 + (i % 5) as f64 * 0.5).collect();
+        let rhs: Vec<f64> = (0..n).map(|i| (i as f64 * 0.7).sin()).collect();
+        let mut dense = crate::Mat::zeros(n, n);
+        for i in 0..n {
+            dense[(i, i)] = diag[i];
+            if i + 1 < n {
+                dense[(i, i + 1)] = sub[i];
+                dense[(i + 1, i)] = sub[i];
+            }
+        }
+        let chol = crate::chol::Cholesky::new(&dense).unwrap();
+        let expect = chol.solve(&rhs);
+        let mut x = rhs.clone();
+        let mut scratch = vec![0.0; n];
+        solve_in_place(&sub, &diag, &sub, &mut x, &mut scratch);
+        for (a, b) in x.iter().zip(&expect) {
+            assert!((a - b).abs() < 1e-10, "{a} vs {b}");
+        }
+    }
+}

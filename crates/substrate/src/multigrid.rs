@@ -1,0 +1,474 @@
+//! Geometric multigrid V-cycle for the grid-of-resistors system.
+//!
+//! The thesis stops at fast-Poisson preconditioners but explicitly points
+//! to multigrid as the next step (§2.2.2: "Multigrid techniques ... may
+//! be very useful here ... Dealing with layer boundaries properly in the
+//! coarse-grid representation would be the major issue"). This module
+//! implements that extension. Coarsening is *Galerkin aggregation* with a
+//! piecewise-constant prolongation: a coarse cell is the union of (up to)
+//! 2x2x2 fine cells, the coarse coupling between two aggregates is the
+//! sum of the fine conductances crossing the interface, and the coarse
+//! diagonal follows from `A_c = P' A P`. Summing conductances handles
+//! layer boundaries for free — exactly the issue the thesis flags —
+//! because the fine grid already resolves each layer.
+//!
+//! The V-cycle uses symmetric weighted-Jacobi smoothing, so it is a
+//! symmetric positive definite operator and legal inside PCG.
+
+/// One grid level of the hierarchy.
+struct MgLevel {
+    nx: usize,
+    ny: usize,
+    nz: usize,
+    /// coupling to the +x neighbor (0 past the boundary), length n
+    gx: Vec<f64>,
+    /// coupling to the +y neighbor
+    gy: Vec<f64>,
+    /// coupling to the +z neighbor
+    gz: Vec<f64>,
+    /// assembled diagonal (1.0 for pinned nodes)
+    diag: Vec<f64>,
+    /// Dirichlet-pinned nodes (excluded from the hierarchy)
+    pinned: Vec<bool>,
+    /// fine node -> coarse aggregate (usize::MAX for pinned)
+    coarse_of: Vec<usize>,
+}
+
+impl MgLevel {
+    fn n(&self) -> usize {
+        self.nx * self.ny * self.nz
+    }
+
+    /// `y = A x` for this level's operator (pinned rows = identity).
+    fn apply(&self, x: &[f64], y: &mut [f64]) {
+        let (nx, nxy, n) = (self.nx, self.nx * self.ny, self.n());
+        for i in 0..n {
+            y[i] = self.diag[i] * x[i];
+        }
+        for i in 0..n.saturating_sub(1) {
+            let g = self.gx[i];
+            if g != 0.0 {
+                y[i] -= g * x[i + 1];
+                y[i + 1] -= g * x[i];
+            }
+        }
+        for i in 0..n.saturating_sub(nx) {
+            let g = self.gy[i];
+            if g != 0.0 {
+                y[i] -= g * x[i + nx];
+                y[i + nx] -= g * x[i];
+            }
+        }
+        for i in 0..n.saturating_sub(nxy) {
+            let g = self.gz[i];
+            if g != 0.0 {
+                y[i] -= g * x[i + nxy];
+                y[i + nxy] -= g * x[i];
+            }
+        }
+        for i in 0..n {
+            if self.pinned[i] {
+                y[i] = x[i];
+            }
+        }
+    }
+
+    /// One weighted-Jacobi sweep `x <- x + w D^{-1} (b - A x)`.
+    fn jacobi(&self, b: &[f64], x: &mut [f64], omega: f64, scratch: &mut Vec<f64>) {
+        let n = self.n();
+        scratch.resize(n, 0.0);
+        self.apply(x, scratch);
+        for i in 0..n {
+            if self.pinned[i] {
+                x[i] = 0.0;
+                continue;
+            }
+            x[i] += omega * (b[i] - scratch[i]) / self.diag[i];
+        }
+    }
+}
+
+/// The multigrid hierarchy (a symmetric V-cycle preconditioner).
+pub(crate) struct Multigrid {
+    levels: Vec<MgLevel>,
+    /// pre- and post-smoothing sweeps per level
+    smooth: usize,
+    /// Jacobi damping
+    omega: f64,
+    /// smoothing sweeps on the coarsest level
+    coarse_sweeps: usize,
+}
+
+impl std::fmt::Debug for Multigrid {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "Multigrid {{ levels: {} }}", self.levels.len())
+    }
+}
+
+impl Multigrid {
+    /// Builds the hierarchy from the finest-level grid data.
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn new(
+        nx: usize,
+        ny: usize,
+        nz: usize,
+        gx: &[f64],
+        gy: &[f64],
+        gz: &[f64],
+        diag: &[f64],
+        pinned: &[bool],
+        smooth: usize,
+    ) -> Multigrid {
+        let mut levels = vec![MgLevel {
+            nx,
+            ny,
+            nz,
+            gx: gx.to_vec(),
+            gy: gy.to_vec(),
+            gz: gz.to_vec(),
+            diag: diag.to_vec(),
+            pinned: pinned.to_vec(),
+            coarse_of: Vec::new(),
+        }];
+        // coarsen until the level is small
+        while levels.last().expect("nonempty").n() > 512 {
+            let fine = levels.last_mut().expect("nonempty");
+            if fine.nx < 2 && fine.ny < 2 && fine.nz < 2 {
+                break;
+            }
+            let coarse = coarsen(fine);
+            levels.push(coarse);
+        }
+        Multigrid { levels, smooth: smooth.max(1), omega: 0.8, coarse_sweeps: 60 }
+    }
+
+    /// Applies the V-cycle: `z ~= A^{-1} r` (pinned entries zeroed).
+    pub(crate) fn v_cycle(&self, r: &[f64], z: &mut [f64]) {
+        let mut scratch = Vec::new();
+        self.cycle(0, r, z, &mut scratch);
+        for (i, p) in self.levels[0].pinned.iter().enumerate() {
+            if *p {
+                z[i] = 0.0;
+            }
+        }
+    }
+
+    fn cycle(&self, lev: usize, b: &[f64], x: &mut [f64], scratch: &mut Vec<f64>) {
+        let level = &self.levels[lev];
+        let n = level.n();
+        x.iter_mut().for_each(|v| *v = 0.0);
+        if lev + 1 == self.levels.len() {
+            for _ in 0..self.coarse_sweeps {
+                level.jacobi(b, x, self.omega, scratch);
+            }
+            return;
+        }
+        for _ in 0..self.smooth {
+            level.jacobi(b, x, self.omega, scratch);
+        }
+        // residual
+        let mut r = vec![0.0; n];
+        level.apply(x, &mut r);
+        for i in 0..n {
+            r[i] = b[i] - r[i];
+        }
+        // restrict (sum over aggregate members)
+        let next = &self.levels[lev + 1];
+        let mut bc = vec![0.0; next.n()];
+        for (i, &c) in level.coarse_of.iter().enumerate() {
+            if c != usize::MAX {
+                bc[c] += r[i];
+            }
+        }
+        // coarse solve
+        let mut xc = vec![0.0; next.n()];
+        self.cycle(lev + 1, &bc, &mut xc, scratch);
+        // prolong (piecewise constant) and correct
+        for (i, &c) in level.coarse_of.iter().enumerate() {
+            if c != usize::MAX {
+                x[i] += xc[c];
+            }
+        }
+        for _ in 0..self.smooth {
+            level.jacobi(b, x, self.omega, scratch);
+        }
+    }
+
+    /// Number of levels in the hierarchy.
+    #[cfg(test)]
+    fn depth(&self) -> usize {
+        self.levels.len()
+    }
+}
+
+/// Builds the next-coarser level by Galerkin aggregation and records the
+/// fine-to-coarse map on `fine`.
+fn coarsen(fine: &mut MgLevel) -> MgLevel {
+    let half = |k: usize| k.div_ceil(2).max(1);
+    let (cnx, cny, cnz) = (half(fine.nx), half(fine.ny), half(fine.nz));
+    let cn = cnx * cny * cnz;
+    let cidx = |ix: usize, iy: usize, iz: usize| (iz * cny + iy) * cnx + ix;
+
+    // fine -> coarse map; aggregates of pinned nodes are excluded
+    let mut coarse_of = vec![usize::MAX; fine.n()];
+    let mut members = vec![0usize; cn];
+    for iz in 0..fine.nz {
+        for iy in 0..fine.ny {
+            for ix in 0..fine.nx {
+                let i = (iz * fine.ny + iy) * fine.nx + ix;
+                if fine.pinned[i] {
+                    continue;
+                }
+                let c = cidx(ix / 2, iy / 2, iz / 2);
+                coarse_of[i] = c;
+                members[c] += 1;
+            }
+        }
+    }
+
+    // Galerkin A_c = P' A P for the 7-point stencil:
+    // off-diag(I,J) = -sum of fine couplings between I and J members,
+    // diag(I) = sum of member diagonals - 2 * intra-aggregate couplings.
+    let mut gx = vec![0.0; cn];
+    let mut gy = vec![0.0; cn];
+    let mut gz = vec![0.0; cn];
+    let mut diag = vec![0.0; cn];
+    for (i, &c) in coarse_of.iter().enumerate() {
+        if c != usize::MAX {
+            diag[c] += fine.diag[i];
+        }
+    }
+    let (nx, nxy, n) = (fine.nx, fine.nx * fine.ny, fine.n());
+    let mut couple = |i: usize, j: usize, g: f64, gdir: &mut [f64], stride_dir: bool| {
+        let (ci, cj) = (coarse_of[i], coarse_of[j]);
+        if ci == usize::MAX || cj == usize::MAX || g == 0.0 {
+            return;
+        }
+        if ci == cj {
+            diag[ci] -= 2.0 * g;
+        } else {
+            // cj is the +direction neighbor of ci on the coarse grid
+            debug_assert!(cj > ci);
+            gdir[ci] += g;
+            let _ = stride_dir;
+        }
+    };
+    for i in 0..n.saturating_sub(1) {
+        if (i % nx) + 1 < nx {
+            couple(i, i + 1, fine.gx[i], &mut gx, true);
+        }
+    }
+    for i in 0..n.saturating_sub(nx) {
+        if ((i / nx) % fine.ny) + 1 < fine.ny {
+            couple(i, i + nx, fine.gy[i], &mut gy, true);
+        }
+    }
+    for i in 0..n.saturating_sub(nxy) {
+        couple(i, i + nxy, fine.gz[i], &mut gz, true);
+    }
+
+    // empty aggregates act as pinned identity rows
+    let mut pinned = vec![false; cn];
+    for c in 0..cn {
+        if members[c] == 0 {
+            pinned[c] = true;
+            diag[c] = 1.0;
+        } else if diag[c] <= 0.0 {
+            // numerical safety: aggregation cannot make the diagonal
+            // nonpositive for an M-matrix, but guard against rounding
+            diag[c] = 1e-300;
+        }
+    }
+
+    fine.coarse_of = coarse_of;
+    MgLevel { nx: cnx, ny: cny, nz: cnz, gx, gy, gz, diag, pinned, coarse_of: Vec::new() }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A small uniform Poisson grid with the top plane pinned.
+    fn test_level(nx: usize, ny: usize, nz: usize) -> MgLevel {
+        let n = nx * ny * nz;
+        let nxy = nx * ny;
+        let mut gx = vec![0.0; n];
+        let mut gy = vec![0.0; n];
+        let mut gz = vec![0.0; n];
+        let mut pinned = vec![false; n];
+        for i in 0..n {
+            let (ix, iy, iz) = (i % nx, (i / nx) % ny, i / nxy);
+            if ix + 1 < nx {
+                gx[i] = 1.0;
+            }
+            if iy + 1 < ny {
+                gy[i] = 1.0;
+            }
+            if iz + 1 < nz {
+                gz[i] = 1.0;
+            }
+            // pin one corner node to make A nonsingular
+            if ix == 0 && iy == 0 && iz == 0 {
+                pinned[i] = true;
+            }
+        }
+        let mut diag = vec![0.0; n];
+        for i in 0..n {
+            let (ix, iy, iz) = (i % nx, (i / nx) % ny, i / nxy);
+            let mut d = 0.0;
+            if ix + 1 < nx {
+                d += gx[i];
+            }
+            if ix > 0 {
+                d += gx[i - 1];
+            }
+            if iy + 1 < ny {
+                d += gy[i];
+            }
+            if iy > 0 {
+                d += gy[i - nx];
+            }
+            if iz + 1 < nz {
+                d += gz[i];
+            }
+            if iz > 0 {
+                d += gz[i - nxy];
+            }
+            // a little mass keeps the operator SPD even if nothing is
+            // pinned in a test variant
+            diag[i] = d + 0.01;
+            if pinned[i] {
+                diag[i] = 1.0;
+            }
+        }
+        MgLevel { nx, ny, nz, gx, gy, gz, diag, pinned, coarse_of: Vec::new() }
+    }
+
+    fn build(nx: usize, ny: usize, nz: usize, smooth: usize) -> Multigrid {
+        let l = test_level(nx, ny, nz);
+        Multigrid::new(nx, ny, nz, &l.gx, &l.gy, &l.gz, &l.diag, &l.pinned, smooth)
+    }
+
+    #[test]
+    fn hierarchy_coarsens() {
+        let mg = build(16, 16, 8, 2);
+        assert!(mg.depth() >= 2, "expected at least two levels");
+        // every non-pinned fine node maps to a coarse aggregate
+        let fine = &mg.levels[0];
+        for (i, &c) in fine.coarse_of.iter().enumerate() {
+            assert_eq!(c == usize::MAX, fine.pinned[i]);
+        }
+    }
+
+    #[test]
+    fn galerkin_preserves_row_sums() {
+        // for the pure Neumann part (no pinning, no mass), P' A P keeps
+        // zero row sums; with mass, row sums equal the aggregated mass
+        let mg = build(16, 16, 8, 1); // large enough to actually coarsen
+        let coarse = &mg.levels[1];
+        let (nx, nxy) = (coarse.nx, coarse.nx * coarse.ny);
+        for i in 0..coarse.n() {
+            if coarse.pinned[i] {
+                continue;
+            }
+            let mut offsum = 0.0;
+            let (ix, iy, iz) = (i % nx, (i / nx) % coarse.ny, i / nxy);
+            if ix + 1 < coarse.nx {
+                offsum += coarse.gx[i];
+            }
+            if ix > 0 {
+                offsum += coarse.gx[i - 1];
+            }
+            if iy + 1 < coarse.ny {
+                offsum += coarse.gy[i];
+            }
+            if iy > 0 {
+                offsum += coarse.gy[i - nx];
+            }
+            if iz + 1 < coarse.nz {
+                offsum += coarse.gz[i];
+            }
+            if iz > 0 {
+                offsum += coarse.gz[i - nxy];
+            }
+            // diag >= off-diagonal sum (diagonally dominant; slack = mass
+            // + couplings to pinned neighbors)
+            assert!(
+                coarse.diag[i] >= offsum - 1e-12,
+                "coarse row {i} lost dominance: {} vs {offsum}",
+                coarse.diag[i]
+            );
+        }
+    }
+
+    #[test]
+    fn v_cycle_reduces_residual() {
+        let mg = build(16, 16, 8, 2);
+        let fine = &mg.levels[0];
+        let n = fine.n();
+        // manufactured solution
+        let x_true: Vec<f64> = (0..n)
+            .map(|i| if fine.pinned[i] { 0.0 } else { ((i * 37) % 19) as f64 / 19.0 - 0.5 })
+            .collect();
+        let mut b = vec![0.0; n];
+        fine.apply(&x_true, &mut b);
+        // a few stationary V-cycle iterations: x <- x + M(b - A x)
+        let mut x = vec![0.0; n];
+        let mut residual_norms = Vec::new();
+        for _ in 0..6 {
+            let mut ax = vec![0.0; n];
+            fine.apply(&x, &mut ax);
+            let r: Vec<f64> = (0..n).map(|i| b[i] - ax[i]).collect();
+            residual_norms.push(r.iter().map(|v| v * v).sum::<f64>().sqrt());
+            let mut z = vec![0.0; n];
+            mg.v_cycle(&r, &mut z);
+            for i in 0..n {
+                x[i] += z[i];
+            }
+        }
+        let first = residual_norms[0];
+        let last = *residual_norms.last().expect("nonempty");
+        assert!(
+            last < 1e-3 * first,
+            "V-cycle iteration stalls: residuals {residual_norms:?}"
+        );
+    }
+
+    #[test]
+    fn v_cycle_is_symmetric() {
+        // r2' M r1 == r1' M r2 is required for use inside PCG
+        let mg = build(16, 16, 8, 2);
+        let n = mg.levels[0].n();
+        let r1: Vec<f64> = (0..n).map(|i| ((i * 13) % 7) as f64 - 3.0).collect();
+        let r2: Vec<f64> = (0..n).map(|i| ((i * 29) % 11) as f64 - 5.0).collect();
+        let mut z1 = vec![0.0; n];
+        let mut z2 = vec![0.0; n];
+        mg.v_cycle(&r1, &mut z1);
+        mg.v_cycle(&r2, &mut z2);
+        let a: f64 = r2.iter().zip(&z1).map(|(a, b)| a * b).sum();
+        let b: f64 = r1.iter().zip(&z2).map(|(a, b)| a * b).sum();
+        assert!(
+            (a - b).abs() <= 1e-9 * a.abs().max(b.abs()).max(1.0),
+            "V-cycle not symmetric: {a} vs {b}"
+        );
+    }
+
+    #[test]
+    fn v_cycle_is_positive() {
+        // z' r > 0 for r != 0 (definiteness sanity)
+        let mg = build(16, 16, 8, 2);
+        let n = mg.levels[0].n();
+        for seed in 1..5u64 {
+            let r: Vec<f64> = (0..n)
+                .map(|i| {
+                    let h = (i as u64).wrapping_mul(seed).wrapping_mul(6364136223846793005);
+                    ((h >> 33) as f64 / (1u64 << 30) as f64) - 1.0
+                })
+                .collect();
+            let mut z = vec![0.0; n];
+            mg.v_cycle(&r, &mut z);
+            let dot: f64 = r.iter().zip(&z).map(|(a, b)| a * b).sum();
+            assert!(dot > 0.0, "V-cycle not positive definite (seed {seed})");
+        }
+    }
+}

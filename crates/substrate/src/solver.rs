@@ -1,0 +1,247 @@
+//! The black-box substrate solver abstraction (thesis §1.2, §2.1).
+//!
+//! The extraction algorithms only ever call [`SubstrateSolver::solve`]:
+//! contact voltages in, contact currents out. [`CountingSolver`] wraps any
+//! solver to count solves (the thesis's primary cost metric — the
+//! "solve-reduction factor"), and [`DenseSolver`] adapts a precomputed
+//! conductance matrix, which both tests and downstream users with their own
+//! extraction tools can plug in.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use subsparse_linalg::Mat;
+
+/// A black-box substrate solver: given the `n` contact voltages, returns
+/// the `n` contact currents (current *into* each contact from the circuit).
+pub trait SubstrateSolver {
+    /// Number of contacts.
+    fn n_contacts(&self) -> usize;
+
+    /// Applies the conductance operator `i = G v`.
+    ///
+    /// # Panics
+    ///
+    /// Implementations may panic if `contact_voltages.len()` differs from
+    /// [`n_contacts`](Self::n_contacts).
+    fn solve(&self, contact_voltages: &[f64]) -> Vec<f64>;
+}
+
+impl<T: SubstrateSolver + ?Sized> SubstrateSolver for &T {
+    fn n_contacts(&self) -> usize {
+        (**self).n_contacts()
+    }
+    fn solve(&self, contact_voltages: &[f64]) -> Vec<f64> {
+        (**self).solve(contact_voltages)
+    }
+}
+
+/// Cumulative cost statistics of a solver.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct SolveStats {
+    /// Number of black-box solves performed.
+    pub solves: usize,
+    /// Total inner (CG/PCG) iterations across all solves, if the solver is
+    /// iterative; zero otherwise.
+    pub inner_iterations: usize,
+}
+
+impl SolveStats {
+    /// Average inner iterations per solve (0 if no solves).
+    pub fn iterations_per_solve(&self) -> f64 {
+        if self.solves == 0 {
+            0.0
+        } else {
+            self.inner_iterations as f64 / self.solves as f64
+        }
+    }
+}
+
+/// Wraps a solver and counts calls to [`SubstrateSolver::solve`].
+///
+/// # Example
+///
+/// ```
+/// use subsparse_linalg::Mat;
+/// use subsparse_substrate::{CountingSolver, DenseSolver, SubstrateSolver};
+///
+/// let g = Mat::from_rows(&[&[2.0, -1.0], &[-1.0, 2.0]]);
+/// let counting = CountingSolver::new(DenseSolver::new(g));
+/// let _ = counting.solve(&[1.0, 0.0]);
+/// assert_eq!(counting.count(), 1);
+/// ```
+#[derive(Debug)]
+pub struct CountingSolver<S> {
+    inner: S,
+    count: AtomicUsize,
+}
+
+impl<S: SubstrateSolver> CountingSolver<S> {
+    /// Wraps `inner`.
+    pub fn new(inner: S) -> Self {
+        CountingSolver { inner, count: AtomicUsize::new(0) }
+    }
+
+    /// Number of solves so far.
+    pub fn count(&self) -> usize {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Resets the counter to zero.
+    pub fn reset(&self) {
+        self.count.store(0, Ordering::Relaxed);
+    }
+
+    /// The wrapped solver.
+    pub fn inner(&self) -> &S {
+        &self.inner
+    }
+
+    /// Unwraps the inner solver.
+    pub fn into_inner(self) -> S {
+        self.inner
+    }
+}
+
+impl<S: SubstrateSolver> SubstrateSolver for CountingSolver<S> {
+    fn n_contacts(&self) -> usize {
+        self.inner.n_contacts()
+    }
+    fn solve(&self, contact_voltages: &[f64]) -> Vec<f64> {
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.inner.solve(contact_voltages)
+    }
+}
+
+/// A solver backed by an explicit dense conductance matrix.
+///
+/// Useful for testing the extraction algorithms against exact arithmetic
+/// and for plugging in matrices from external tools.
+#[derive(Clone, Debug)]
+pub struct DenseSolver {
+    g: Mat,
+}
+
+impl DenseSolver {
+    /// Wraps a square conductance matrix.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `g` is not square.
+    pub fn new(g: Mat) -> Self {
+        assert_eq!(g.n_rows(), g.n_cols(), "conductance matrix must be square");
+        DenseSolver { g }
+    }
+
+    /// The wrapped matrix.
+    pub fn matrix(&self) -> &Mat {
+        &self.g
+    }
+}
+
+impl SubstrateSolver for DenseSolver {
+    fn n_contacts(&self) -> usize {
+        self.g.n_rows()
+    }
+    fn solve(&self, contact_voltages: &[f64]) -> Vec<f64> {
+        self.g.matvec(contact_voltages)
+    }
+}
+
+/// Extracts the dense conductance matrix the naive way: one black-box
+/// solve per contact, `G(:, i) = solve(e_i)` (thesis §1.2).
+pub fn extract_dense<S: SubstrateSolver + ?Sized>(solver: &S) -> Mat {
+    let n = solver.n_contacts();
+    let mut g = Mat::zeros(n, n);
+    let mut e = vec![0.0; n];
+    for i in 0..n {
+        e[i] = 1.0;
+        let col = solver.solve(&e);
+        g.col_mut(i).copy_from_slice(&col);
+        e[i] = 0.0;
+    }
+    g
+}
+
+/// Builds a synthetic dense conductance matrix for a layout with a smooth
+/// dipole-like decay kernel:
+/// `G_ij = -area_i area_j / (c + d_ij^3)` for `i != j` and a diagonally
+/// dominant positive diagonal.
+///
+/// This mimics the qualitative structure of a real substrate `G`
+/// (symmetric, negative off-diagonals, smooth decay with distance) at zero
+/// solver cost; the extraction crates use it for fast exact-arithmetic
+/// tests. It is *not* a physical model — use the FD or eigenfunction
+/// solvers for real extractions.
+pub fn synthetic(layout: &subsparse_layout::Layout) -> DenseSolver {
+    let n = layout.n_contacts();
+    let centroids: Vec<(f64, f64)> =
+        layout.contacts().iter().map(|c| c.centroid()).collect();
+    let areas: Vec<f64> = layout.contacts().iter().map(|c| c.area()).collect();
+    let (a, _) = layout.extent();
+    let c0 = (a / 64.0).powi(3).max(1e-9);
+    let mut g = Mat::zeros(n, n);
+    for i in 0..n {
+        for j in (i + 1)..n {
+            let d = (centroids[i].0 - centroids[j].0).hypot(centroids[i].1 - centroids[j].1);
+            let v = -areas[i] * areas[j] / (c0 + d * d * d);
+            g[(i, j)] = v;
+            g[(j, i)] = v;
+        }
+    }
+    for i in 0..n {
+        let off: f64 = (0..n).filter(|&j| j != i).map(|j| g[(i, j)].abs()).sum();
+        g[(i, i)] = 1.25 * off + 0.05 * areas[i];
+    }
+    DenseSolver::new(g)
+}
+
+/// Extracts a subset of columns of `G` (used for sampled error estimates
+/// on large examples, thesis Table 4.3).
+pub fn extract_columns<S: SubstrateSolver + ?Sized>(solver: &S, cols: &[usize]) -> Mat {
+    let n = solver.n_contacts();
+    let mut g = Mat::zeros(n, cols.len());
+    let mut e = vec![0.0; n];
+    for (k, &i) in cols.iter().enumerate() {
+        e[i] = 1.0;
+        let col = solver.solve(&e);
+        g.col_mut(k).copy_from_slice(&col);
+        e[i] = 0.0;
+    }
+    g
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dense_solver_roundtrip() {
+        let g = Mat::from_rows(&[&[3.0, -1.0], &[-1.0, 2.0]]);
+        let s = DenseSolver::new(g.clone());
+        let extracted = extract_dense(&s);
+        for i in 0..2 {
+            for j in 0..2 {
+                assert_eq!(extracted[(i, j)], g[(i, j)]);
+            }
+        }
+    }
+
+    #[test]
+    fn counting_solver_counts() {
+        let s = CountingSolver::new(DenseSolver::new(Mat::identity(3)));
+        let _ = extract_dense(&s);
+        assert_eq!(s.count(), 3);
+        s.reset();
+        assert_eq!(s.count(), 0);
+    }
+
+    #[test]
+    fn extract_columns_subset() {
+        let g = Mat::from_fn(4, 4, |i, j| (i * 4 + j) as f64);
+        let s = DenseSolver::new(g.clone());
+        let cols = extract_columns(&s, &[2, 0]);
+        for i in 0..4 {
+            assert_eq!(cols[(i, 0)], g[(i, 2)]);
+            assert_eq!(cols[(i, 1)], g[(i, 0)]);
+        }
+    }
+}

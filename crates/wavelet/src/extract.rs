@@ -1,0 +1,347 @@
+//! Combine-solves extraction of the transformed matrix `Gw` (thesis §3.5).
+//!
+//! Naively, filling `Gw = Q' G Q` needs one black-box solve per basis
+//! vector (`n` solves). The combine-solves technique instead applies `G` to
+//! *sums* of basis vectors taken from squares at least three squares apart
+//! on the same level (Fig 3-5). Because the current response of a
+//! vanishing-moment basis vector decays fast with distance, the response to
+//! each summand can be read off near its own square without contamination
+//! from the others. The retained entries of `Gw` are exactly the
+//! "not-assumed-small" ones: interactions of basis vectors in squares whose
+//! coarser-level ancestor is local (same or neighbor) to the other square,
+//! plus everything involving the coarsest-level nonvanishing vectors.
+
+use subsparse_hier::{BasisRep, Square, SymmetricAccumulator};
+use subsparse_linalg::{Csr, Mat};
+use subsparse_substrate::SubstrateSolver;
+
+use crate::basis::WaveletBasis;
+
+/// Options for the combine-solves extraction.
+#[derive(Clone, Copy, Debug)]
+pub struct ExtractOptions {
+    /// Minimum square separation of basis vectors combined into one solve
+    /// (the thesis uses 3: squares with equal `(ix mod 3, iy mod 3)`
+    /// phases, Fig 3-5). Setting this to 0 disables combining entirely and
+    /// performs one solve per basis vector — useful as an accuracy
+    /// reference, at `n` solves.
+    pub spacing: usize,
+}
+
+impl Default for ExtractOptions {
+    fn default() -> Self {
+        ExtractOptions { spacing: 3 }
+    }
+}
+
+/// Extracts `Gw` in the wavelet basis with the combine-solves technique,
+/// returning the `G ~ Q Gw Q'` representation (the thesis's `Gws`).
+///
+/// The number of black-box calls is `root_v` (coarsest nonvanishing
+/// vectors) plus, per level, at most `spacing^2 * max_w(level)` — i.e.
+/// `O(log n)` for regular layouts, versus `n` for naive extraction.
+///
+/// # Panics
+///
+/// Panics if the solver's contact count differs from the basis's.
+pub fn extract<S: SubstrateSolver + ?Sized>(
+    solver: &S,
+    basis: &WaveletBasis,
+    options: &ExtractOptions,
+) -> BasisRep {
+    let n = basis.n();
+    assert_eq!(solver.n_contacts(), n, "solver/basis contact count mismatch");
+    let tree = basis.tree();
+    let finest = tree.finest();
+    let mut acc = SymmetricAccumulator::new();
+
+    // ---- coarsest-level nonvanishing vectors: dense rows/columns.
+    // One solve per root V column; the response is projected onto *all*
+    // basis vectors (forms 3.21-3.23 of the thesis are never assumed small).
+    let q = basis.q();
+    for j in 0..basis.root_v() {
+        let qj = q_column(q, j, n);
+        let y = solver.solve(&qj);
+        let gw_col = q.matvec_t(&y);
+        for (i, &v) in gw_col.iter().enumerate() {
+            if v != 0.0 {
+                acc.add(i, j, v);
+            }
+        }
+    }
+
+    // ---- vanishing-moment vectors, level by level (source level l).
+    for l in 0..=finest {
+        let side = tree.side(l);
+        let spacing = if options.spacing == 0 { 0 } else { options.spacing.min(side) };
+        let max_w = basis.max_w(l);
+        if max_w == 0 {
+            continue;
+        }
+        if spacing == 0 {
+            // no combining: one solve per basis vector
+            for s in tree.squares(l) {
+                for m in 0..basis.w_count(s) {
+                    let theta = w_column_padded(basis, s, m, n);
+                    let y = solver.solve(&theta);
+                    extract_group_responses(basis, &[s], m, &y, &mut acc);
+                }
+            }
+            continue;
+        }
+        for pi in 0..spacing {
+            for pj in 0..spacing {
+                for m in 0..max_w {
+                    // squares of this phase holding an m-th W column
+                    let group: Vec<Square> = tree
+                        .squares(l)
+                        .filter(|s| {
+                            s.ix as usize % spacing == pi
+                                && s.iy as usize % spacing == pj
+                                && m < basis.w_count(*s)
+                        })
+                        .collect();
+                    if group.is_empty() {
+                        continue;
+                    }
+                    let mut theta = vec![0.0; n];
+                    for s in &group {
+                        add_w_column(basis, *s, m, &mut theta);
+                    }
+                    let y = solver.solve(&theta);
+                    extract_group_responses(basis, &group, m, &y, &mut acc);
+                }
+            }
+        }
+    }
+
+    BasisRep { q: basis.q().clone(), gw: acc.to_symmetric_csr(n) }
+}
+
+/// Reads the entries of `Gw` recoverable from the response `y` to a
+/// combined solve whose sources are the `m`-th `W` columns of `group`.
+///
+/// For each source square `s` (level `l`), entries are extracted against
+/// destination basis vectors on levels `l' >= l` whose level-`l` ancestor
+/// is local to `s` (thesis eq. 3.25); the `l' < l` entries come from
+/// symmetry of `G` when that level is processed as a source.
+fn extract_group_responses(
+    basis: &WaveletBasis,
+    group: &[Square],
+    m: usize,
+    y: &[f64],
+    acc: &mut SymmetricAccumulator,
+) {
+    let tree = basis.tree();
+    let finest = tree.finest();
+    for s in group {
+        let src_col = basis.w_col(*s, m);
+        let l = s.level as usize;
+        for t in tree.local(*s) {
+            // all descendants of the local square t, levels l..=finest
+            for lp in l..=finest {
+                let shift = lp - l;
+                let (x0, y0) = ((t.ix as usize) << shift, (t.iy as usize) << shift);
+                for dy in 0..(1usize << shift) {
+                    for dx in 0..(1usize << shift) {
+                        let d = Square::new(lp, x0 + dx, y0 + dy);
+                        let wd = basis.w_count(d);
+                        if wd == 0 {
+                            continue;
+                        }
+                        let cs = tree.contacts_in_square(d);
+                        for mp in 0..wd {
+                            let wcol = basis.w_column(d, mp);
+                            let mut v = 0.0;
+                            for (r, &ci) in cs.iter().enumerate() {
+                                v += wcol[r] * y[ci as usize];
+                            }
+                            let dst_col = basis.w_col(d, mp);
+                            acc.add(dst_col, src_col, v);
+                            acc.add(src_col, dst_col, v);
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Materializes column `j` of a sparse `Q` as a dense vector.
+fn q_column(q: &Csr, j: usize, n: usize) -> Vec<f64> {
+    let mut out = vec![0.0; n];
+    for i in 0..n {
+        let (cols, vals) = q.row(i);
+        if let Ok(k) = cols.binary_search(&(j as u32)) {
+            out[i] = vals[k];
+        }
+    }
+    out
+}
+
+/// The zero-padded `m`-th vanishing basis vector of square `s`.
+fn w_column_padded(basis: &WaveletBasis, s: Square, m: usize, n: usize) -> Vec<f64> {
+    let mut out = vec![0.0; n];
+    add_w_column(basis, s, m, &mut out);
+    out
+}
+
+/// Adds the `m`-th vanishing basis vector of `s` into a full-length vector.
+fn add_w_column(basis: &WaveletBasis, s: Square, m: usize, out: &mut [f64]) {
+    let cs = basis.tree().contacts_in_square(s);
+    let col = basis.w_column(s, m);
+    for (r, &ci) in cs.iter().enumerate() {
+        out[ci as usize] += col[r];
+    }
+}
+
+/// Transforms a dense `G` exactly into the wavelet basis: `Gw = Q' G Q`.
+///
+/// This is the `n`-solve reference against which the combine-solves
+/// extraction is validated, and the basis of the "drop small entries of
+/// `Gw` versus drop small entries of `G`" comparison of §3.7.
+pub fn transform_dense(g: &Mat, basis: &WaveletBasis) -> Mat {
+    let n = basis.n();
+    assert_eq!(g.n_rows(), n);
+    assert_eq!(g.n_cols(), n);
+    let q = basis.q();
+    // Gw = Q' (G Q): build G Q column by column through sparse access
+    let mut gq = Mat::zeros(n, n);
+    for j in 0..n {
+        let qj = q_column(q, j, n);
+        gq.col_mut(j).copy_from_slice(&g.matvec(&qj));
+    }
+    let mut gw = Mat::zeros(n, n);
+    for j in 0..n {
+        gw.col_mut(j).copy_from_slice(&q.matvec_t(gq.col(j)));
+    }
+    gw
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::basis::build_basis;
+    use subsparse_layout::generators;
+    use subsparse_substrate::{solver, CountingSolver};
+
+    fn max_rel_err_on_exact(rep: &BasisRep, g: &Mat) -> f64 {
+        let approx = rep.to_dense();
+        let mut worst = 0.0_f64;
+        for i in 0..g.n_rows() {
+            for j in 0..g.n_cols() {
+                let denom = g[(i, j)].abs();
+                if denom > 0.0 {
+                    worst = worst.max((approx[(i, j)] - g[(i, j)]).abs() / denom);
+                }
+            }
+        }
+        worst
+    }
+
+    #[test]
+    fn combine_solves_uses_few_solves() {
+        // finest squares hold 16 contacts (> 6 moment constraints), the
+        // regime the thesis's complexity analysis assumes (§3.4.3: c > d)
+        let layout = generators::regular_grid(128.0, 16, 2.0);
+        let black_box = CountingSolver::new(solver::synthetic(&layout));
+        let basis = build_basis(&layout, 2, 2).unwrap();
+        let _ = extract(&black_box, &basis, &ExtractOptions::default());
+        let n = layout.n_contacts();
+        assert!(
+            black_box.count() < (3 * n) / 4,
+            "expected solve reduction: {} solves for n = {n}",
+            black_box.count()
+        );
+    }
+
+    #[test]
+    fn extraction_is_accurate_on_regular_grid() {
+        let layout = generators::regular_grid(128.0, 8, 2.0);
+        let s = solver::synthetic(&layout);
+        let g = s.matrix().clone();
+        let basis = build_basis(&layout, 3, 2).unwrap();
+        let rep = extract(&s, &basis, &ExtractOptions::default());
+        let err = max_rel_err_on_exact(&rep, &g);
+        assert!(err < 0.05, "max relative error {err} too large");
+    }
+
+    #[test]
+    fn no_combining_matches_dense_transform_on_kept_pattern() {
+        let layout = generators::regular_grid(64.0, 4, 2.0);
+        let s = solver::synthetic(&layout);
+        let g = s.matrix().clone();
+        let basis = build_basis(&layout, 2, 2).unwrap();
+        let rep = extract(&s, &basis, &ExtractOptions { spacing: 0 });
+        let gw_exact = transform_dense(&g, &basis);
+        // every *kept* entry must match the exact transform
+        for (i, j, v) in rep.gw.iter() {
+            let e = gw_exact[(i, j)];
+            assert!(
+                (v - e).abs() <= 1e-9 * gw_exact.max_abs(),
+                "kept entry ({i},{j}) = {v} differs from exact {e}"
+            );
+        }
+    }
+
+    #[test]
+    fn kept_pattern_reconstructs_g_well() {
+        // with spacing 0 (exact entries) the only error is the dropped
+        // far-field pattern; QGwQ' must still be close to G
+        let layout = generators::regular_grid(64.0, 4, 2.0);
+        let s = solver::synthetic(&layout);
+        let g = s.matrix().clone();
+        let basis = build_basis(&layout, 2, 2).unwrap();
+        let rep = extract(&s, &basis, &ExtractOptions { spacing: 0 });
+        let approx = rep.to_dense();
+        let mut diff = approx.clone();
+        diff.add_scaled(-1.0, &g);
+        assert!(diff.fro_norm() < 1e-2 * g.fro_norm());
+    }
+
+    #[test]
+    fn gw_is_symmetric() {
+        let layout = generators::regular_grid(128.0, 8, 2.0);
+        let s = solver::synthetic(&layout);
+        let basis = build_basis(&layout, 3, 2).unwrap();
+        let rep = extract(&s, &basis, &ExtractOptions::default());
+        let d = rep.gw.to_dense();
+        for i in 0..d.n_rows() {
+            for j in (i + 1)..d.n_cols() {
+                assert!(
+                    (d[(i, j)] - d[(j, i)]).abs() < 1e-12,
+                    "Gw not symmetric at ({i},{j})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn solve_count_grows_slowly() {
+        // doubling the grid should grow solves much slower than n; finest
+        // squares hold 16 contacts each (thesis regime c > d)
+        let mut counts = Vec::new();
+        for (k, levels) in [(8usize, 1usize), (16, 2), (32, 3)] {
+            let layout = generators::regular_grid(128.0, k, 2.0);
+            let bb = CountingSolver::new(solver::synthetic(&layout));
+            let basis = build_basis(&layout, levels, 2).unwrap();
+            let _ = extract(&bb, &basis, &ExtractOptions::default());
+            counts.push((k * k, bb.count()));
+        }
+        let (n0, s0) = counts[0];
+        let (n2, s2) = counts[2];
+        let n_growth = n2 as f64 / n0 as f64; // 16x
+        let s_growth = s2 as f64 / s0 as f64;
+        assert!(
+            s_growth < n_growth / 2.0,
+            "solves grew {s_growth}x while n grew {n_growth}x: {counts:?}"
+        );
+        // at n = 1024 the reduction factor must match the thesis's ~2.9
+        let (n, s) = counts[2];
+        assert!(
+            (n as f64 / s as f64) > 2.0,
+            "solve reduction {} at n = {n}",
+            n as f64 / s as f64
+        );
+    }
+}
