@@ -1,13 +1,15 @@
 //! The `O(n log n)`-apply claim: dense `G v` versus the sparse
 //! `Q (Gw (Q' v))` representations and the phase-1 row-basis apply.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
 use subsparse::layout::generators;
 use subsparse::lowrank::LowRankOptions;
 use subsparse::substrate::solver;
 use subsparse::{extract_lowrank, extract_wavelet};
+use subsparse_bench::timing;
 
-fn bench_apply(c: &mut Criterion) {
+fn main() {
     let layout = generators::regular_grid(128.0, 32, 2.0); // 1024 contacts
     let dense = solver::synthetic(&layout);
     let n = layout.n_contacts();
@@ -17,16 +19,22 @@ fn bench_apply(c: &mut Criterion) {
     let g = dense.matrix().clone();
     let v: Vec<f64> = (0..n).map(|i| ((i * 37) % 101) as f64 / 101.0).collect();
 
-    let mut group = c.benchmark_group("apply_g");
-    group.bench_function("dense_matvec", |b| b.iter(|| g.matvec(&v)));
-    group.bench_function("wavelet_qgwq", |b| b.iter(|| wavelet.rep.apply(&v)));
-    group.bench_function("lowrank_qgwq", |b| b.iter(|| lowrank.rep.apply(&v)));
-    group.bench_function("lowrank_rowbasis", |b| b.iter(|| row_basis.apply(&v)));
+    timing::group("apply_g (1024 contacts)");
+    timing::bench("dense_matvec", || {
+        black_box(g.matvec(black_box(&v)));
+    });
+    timing::bench("wavelet_qgwq", || {
+        black_box(wavelet.rep.apply(black_box(&v)));
+    });
+    timing::bench("lowrank_qgwq", || {
+        black_box(lowrank.rep.apply(black_box(&v)));
+    });
+    timing::bench("lowrank_rowbasis", || {
+        black_box(row_basis.apply(black_box(&v)));
+    });
     // the thresholded Gwt is what a circuit simulator would embed
     let (thresh, _) = lowrank.rep.thresholded_to_sparsity(lowrank.rep.sparsity_factor() * 6.0);
-    group.bench_function("lowrank_qgwtq", |b| b.iter(|| thresh.apply(&v)));
-    group.finish();
+    timing::bench("lowrank_qgwtq", || {
+        black_box(thresh.apply(black_box(&v)));
+    });
 }
-
-criterion_group!(benches, bench_apply);
-criterion_main!(benches);

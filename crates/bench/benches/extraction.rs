@@ -2,26 +2,23 @@
 //! zero-cost black box (isolates the algorithms' own work from solver
 //! time).
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
 use subsparse::layout::generators;
 use subsparse::lowrank::LowRankOptions;
 use subsparse::substrate::solver;
 use subsparse::{extract_lowrank, extract_wavelet};
+use subsparse_bench::timing;
 
-fn bench_extraction(c: &mut Criterion) {
+fn main() {
     let layout = generators::regular_grid(128.0, 16, 2.0); // 256 contacts
     let dense = solver::synthetic(&layout);
 
-    let mut group = c.benchmark_group("extraction");
-    group.sample_size(10);
-    group.bench_function("wavelet", |b| {
-        b.iter(|| extract_wavelet(&dense, &layout, 2, 2).expect("wavelet"))
+    timing::group("extraction (256 contacts)");
+    timing::bench("wavelet", || {
+        black_box(extract_wavelet(&dense, &layout, 2, 2).expect("wavelet"));
     });
-    group.bench_function("lowrank", |b| {
-        b.iter(|| extract_lowrank(&dense, &layout, 3, &LowRankOptions::default()).expect("lr"))
+    timing::bench("lowrank", || {
+        black_box(extract_lowrank(&dense, &layout, 3, &LowRankOptions::default()).expect("lr"));
     });
-    group.finish();
 }
-
-criterion_group!(benches, bench_extraction);
-criterion_main!(benches);

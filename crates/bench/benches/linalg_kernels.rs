@@ -1,17 +1,21 @@
 //! Micro-benchmarks of the linear-algebra kernels the extraction and the
 //! solvers lean on.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
 use subsparse::linalg::dct::{dct2d, Dct};
 use subsparse::linalg::svd::svd;
 use subsparse::linalg::Mat;
+use subsparse_bench::timing;
 
-fn bench_kernels(c: &mut Criterion) {
-    let mut group = c.benchmark_group("linalg");
+fn main() {
+    timing::group("linalg");
 
     // SVD of the size used by the low-rank sampling (tall, few columns)
     let a = Mat::from_fn(64, 12, |i, j| ((i * 7 + j * 13) % 23) as f64 - 11.0);
-    group.bench_function("svd_64x12", |b| b.iter(|| svd(&a)));
+    timing::bench("svd_64x12", || {
+        black_box(svd(black_box(&a)));
+    });
 
     // 2-D DCT of the eigen solver's default grid
     let plan = Dct::new(128);
@@ -19,12 +23,7 @@ fn bench_kernels(c: &mut Criterion) {
     for (i, g) in grid.iter_mut().enumerate() {
         *g = (i % 17) as f64;
     }
-    group.bench_function("dct2d_128", |b| {
-        b.iter(|| dct2d(&plan, &plan, &mut grid, 128, 128, true))
+    timing::bench("dct2d_128", || {
+        dct2d(&plan, &plan, black_box(&mut grid), 128, 128, true);
     });
-
-    group.finish();
 }
-
-criterion_group!(benches, bench_kernels);
-criterion_main!(benches);

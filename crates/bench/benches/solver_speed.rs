@@ -1,21 +1,22 @@
-//! Criterion counterpart of Table 2.2: per-solve cost of the
+//! Timing counterpart of Table 2.2: per-solve cost of the
 //! finite-difference versus eigenfunction black-box solvers.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
 use subsparse::layout::generators;
 use subsparse::substrate::{
     EigenSolver, EigenSolverConfig, FdSolver, FdSolverConfig, Substrate, SubstrateSolver,
 };
+use subsparse_bench::timing;
 
-fn bench_solvers(c: &mut Criterion) {
+fn main() {
     let layout = generators::regular_grid(128.0, 8, 2.0);
     let substrate = Substrate::thesis_standard();
     let n = layout.n_contacts();
     let mut v = vec![0.0; n];
     v[0] = 1.0;
 
-    let mut group = c.benchmark_group("solver_speed");
-    group.sample_size(10);
+    timing::group("solver_speed (64 contacts)");
 
     let fd = FdSolver::new(
         &substrate,
@@ -23,7 +24,9 @@ fn bench_solvers(c: &mut Criterion) {
         FdSolverConfig { nx: 64, ny: 64, nz: 24, ..Default::default() },
     )
     .expect("FD solver");
-    group.bench_function("finite_difference", |b| b.iter(|| fd.solve(&v)));
+    timing::bench("finite_difference", || {
+        black_box(fd.solve(black_box(&v)));
+    });
 
     let eig = EigenSolver::new(
         &substrate,
@@ -31,10 +34,7 @@ fn bench_solvers(c: &mut Criterion) {
         EigenSolverConfig { panels: 128, ..Default::default() },
     )
     .expect("eigen solver");
-    group.bench_function("eigenfunction", |b| b.iter(|| eig.solve(&v)));
-
-    group.finish();
+    timing::bench("eigenfunction", || {
+        black_box(eig.solve(black_box(&v)));
+    });
 }
-
-criterion_group!(benches, bench_solvers);
-criterion_main!(benches);

@@ -2,11 +2,12 @@
 //! mode so the whole evaluation pipeline is exercised by one command.
 //! Full-size runs: `cargo run --release -p subsparse-bench --bin <table>`.
 
-use subsparse_bench::{figures, tables};
+use subsparse_bench::{figures, method_matrix, tables};
 
 fn main() {
-    // criterion-style filtering is not needed; this target is a plain
-    // harness=false runner that regenerates all tables in quick mode
+    // this target is a plain harness=false runner that regenerates all
+    // tables (plus the sparsify method matrix) in quick mode
+    println!("{}", method_matrix::run_method_matrix(true));
     println!("{}", tables::run_table_2_1(true));
     println!("{}", tables::run_table_2_2(true));
     println!("{}", tables::run_table_3_1(true));

@@ -19,10 +19,7 @@ fn main() {
     )
     .expect("solver");
     let g = extract_dense(&solver);
-    println!(
-        "moment-order ablation (regular 16x16 grid, n = {})",
-        layout.n_contacts()
-    );
+    println!("moment-order ablation (regular 16x16 grid, n = {})", layout.n_contacts());
     println!(
         "{:>3} {:>11} {:>8} {:>10} {:>12} {:>10}",
         "p", "constraints", "solves", "sparsity", "max relerr", ">10% err"

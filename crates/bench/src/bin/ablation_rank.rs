@@ -2,11 +2,11 @@
 //! singular values above `sigma_1/100`, at most 6 (§4.6); this sweep shows
 //! the accuracy/sparsity trade-off around that choice.
 
+use subsparse::extract_lowrank;
 use subsparse::layout::generators;
 use subsparse::lowrank::LowRankOptions;
 use subsparse::metrics::error_stats;
 use subsparse::substrate::{extract_dense, EigenSolver, EigenSolverConfig, Substrate};
-use subsparse::extract_lowrank;
 
 fn main() {
     let layout = generators::alternating_grid(128.0, 16, 3.0, 1.0);

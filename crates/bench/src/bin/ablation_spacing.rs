@@ -44,8 +44,7 @@ fn main() {
     for spacing in [0usize, 3, 4] {
         let counting = CountingSolver::new(&solver);
         let opts = LowRankOptions { spacing, ..Default::default() };
-        let result =
-            subsparse::lowrank::extract(&counting, &layout, 2, &opts).expect("extraction");
+        let result = subsparse::lowrank::extract(&counting, &layout, 2, &opts).expect("extraction");
         let stats = error_stats(&g, &result.rep.to_dense());
         println!(
             "{:>8} {:>8} {:>11.3}% {:>9.2}%",

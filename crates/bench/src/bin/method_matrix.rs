@@ -1,0 +1,8 @@
+//! `method_matrix` — every registered sparsification method over every
+//! evaluation layout, graded by the shared harness (pass `--quick` for a
+//! smaller run).
+
+fn main() {
+    let quick = subsparse_bench::quick_from_args();
+    print!("{}", subsparse_bench::run_method_matrix(quick));
+}

@@ -1,0 +1,75 @@
+//! `thesis` — regenerate any (or every) thesis table and figure by name.
+//!
+//! Replaces the former per-table one-line binaries with one dispatcher:
+//!
+//! ```text
+//! cargo run --release -p subsparse-bench --bin thesis -- table_2_1
+//! cargo run --release -p subsparse-bench --bin thesis -- all --quick
+//! cargo run --release -p subsparse-bench --bin thesis            # lists targets
+//! ```
+
+use std::process::ExitCode;
+
+use subsparse_bench::{figures, method_matrix, tables};
+
+/// A table/figure runner: `quick` in, formatted output out.
+type Runner = fn(bool) -> String;
+
+/// Every dispatchable target: name, description, runner.
+const TARGETS: &[(&str, &str, Runner)] = &[
+    ("table_2_1", "preconditioner effectiveness", tables::run_table_2_1),
+    ("table_2_2", "solve speed, FD vs eigenfunction", tables::run_table_2_2),
+    ("table_3_1", "wavelet sparsity and accuracy", tables::run_table_3_1),
+    ("table_4_1", "low-rank vs wavelet, unthresholded", tables::run_table_4_1),
+    ("table_4_2", "low-rank vs wavelet, thresholded", tables::run_table_4_2),
+    ("table_4_3", "low-rank on the large examples", tables::run_table_4_3),
+    ("fig_layouts", "evaluation contact layouts", figures::run_fig_layouts),
+    ("fig_3_5_grouping", "combine-solves grouping", figures::run_fig_3_5_grouping),
+    ("fig_4_3_svd_decay", "singular-value decay", figures::run_fig_4_3_svd_decay),
+    ("fig_spy_wavelet", "wavelet Gw spy plots", figures::run_fig_spy_wavelet),
+    ("fig_spy_lowrank", "low-rank Gw spy plots", figures::run_fig_spy_lowrank),
+    ("method_matrix", "all sparsify methods x all layouts", method_matrix::run_method_matrix),
+];
+
+fn usage() -> String {
+    let mut s = String::from(
+        "thesis — regenerate thesis tables/figures\n\n\
+         USAGE: thesis [--quick] <target>... | all\n\nTARGETS:\n",
+    );
+    for (name, desc, _) in TARGETS {
+        s.push_str(&format!("  {name:<18} {desc}\n"));
+    }
+    s
+}
+
+fn main() -> ExitCode {
+    let quick = subsparse_bench::quick_from_args();
+    let requested: Vec<String> = std::env::args().skip(1).filter(|a| a != "--quick").collect();
+    if requested.is_empty() {
+        print!("{}", usage());
+        return ExitCode::SUCCESS;
+    }
+    let run_all = requested.iter().any(|r| r == "all");
+    let mut failed = false;
+    for r in if run_all {
+        TARGETS.iter().map(|(n, _, _)| n.to_string()).collect::<Vec<_>>()
+    } else {
+        requested
+    } {
+        match TARGETS.iter().find(|(n, _, _)| *n == r) {
+            Some((name, _, runner)) => {
+                println!("### {name}");
+                print!("{}", runner(quick));
+            }
+            None => {
+                eprintln!("unknown target {r:?}\n\n{}", usage());
+                failed = true;
+            }
+        }
+    }
+    if failed {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}

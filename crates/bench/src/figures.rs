@@ -10,9 +10,7 @@ use subsparse::layout::generators;
 use subsparse::linalg::svd::svd;
 use subsparse::lowrank::LowRankOptions;
 use subsparse::spy::{spy_ascii, spy_pbm};
-use subsparse::substrate::{
-    extract_dense, EigenSolver, EigenSolverConfig, Substrate,
-};
+use subsparse::substrate::{extract_dense, EigenSolver, EigenSolverConfig, Substrate};
 use subsparse::wavelet::{build_basis, extract as wavelet_extract, ExtractOptions};
 
 use crate::examples::{ch3_examples, ch4_examples, large_examples};
@@ -94,8 +92,7 @@ pub fn run_fig_spy_lowrank(quick: bool) -> String {
     let exs = if quick {
         ch4_examples(true).into_iter().take(1).collect::<Vec<_>>()
     } else {
-        let mut v: Vec<_> =
-            ch4_examples(false).into_iter().filter(|e| e.name == "3").collect();
+        let mut v: Vec<_> = ch4_examples(false).into_iter().filter(|e| e.name == "3").collect();
         v.extend(large_examples(false).into_iter().filter(|e| e.name == "5"));
         v
     };
@@ -108,8 +105,7 @@ pub fn run_fig_spy_lowrank(quick: bool) -> String {
             &LowRankOptions::default(),
         )
         .expect("low-rank extraction");
-        let (thresh, _) =
-            result.rep.thresholded_to_sparsity(result.rep.sparsity_factor() * 6.0);
+        let (thresh, _) = result.rep.thresholded_to_sparsity(result.rep.sparsity_factor() * 6.0);
         let file = dir.join(format!("fig_spy_lowrank_ex{}.pbm", ex.name));
         spy_pbm(&thresh.gw, &file).ok();
         writeln!(
@@ -183,8 +179,7 @@ pub fn run_fig_3_5_grouping(_quick: bool) -> String {
         }
         out.push('\n');
     }
-    writeln!(out, "squares labeled with the same digit are >= 3 apart and share a solve")
-        .unwrap();
+    writeln!(out, "squares labeled with the same digit are >= 3 apart and share a solve").unwrap();
     out
 }
 

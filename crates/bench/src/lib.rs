@@ -1,16 +1,17 @@
 //! Benchmark harness regenerating every table and figure of the thesis
-//! evaluation.
+//! evaluation, plus the method matrix of the unified `sparsify` subsystem.
 //!
-//! Each table/figure has a library function here (so the criterion shim
-//! and the standalone binaries share one implementation) and a binary in
-//! `src/bin/`. The binaries print the same rows the thesis reports;
-//! `EXPERIMENTS.md` records paper-versus-measured values.
+//! Each table/figure has a library function here (so the bench shim and
+//! the standalone binaries share one implementation). The `thesis` binary
+//! dispatches every table/figure runner by name; `method_matrix` drives
+//! all registered sparsification methods over the evaluation layouts.
 //!
 //! Run everything with:
 //!
 //! ```text
-//! cargo run --release -p subsparse-bench --bin table_2_1     # etc.
-//! cargo bench --workspace                                    # quick variants
+//! cargo run --release -p subsparse-bench --bin thesis -- all
+//! cargo run --release -p subsparse-bench --bin method_matrix
+//! cargo bench --workspace                        # quick variants
 //! ```
 //!
 //! Pass `--quick` to any binary for a smaller, faster configuration (same
@@ -18,9 +19,12 @@
 
 pub mod examples;
 pub mod figures;
+pub mod method_matrix;
 pub mod tables;
+pub mod timing;
 
 pub use examples::{ch3_examples, ch4_examples, ExampleSpec, SolverKind};
+pub use method_matrix::run_method_matrix;
 
 /// Returns true if `--quick` is among the process arguments.
 pub fn quick_from_args() -> bool {

@@ -1,0 +1,82 @@
+//! The method matrix: every registered sparsification method crossed with
+//! every evaluation layout, graded by the shared harness.
+//!
+//! This is the workhorse comparison the thesis tables approximate one
+//! slice at a time — one table row per (layout, method) pair, all through
+//! the [`Sparsifier`](subsparse::Sparsifier) trait, so a newly registered
+//! method shows up here with no further wiring.
+
+use std::fmt::Write as _;
+
+use subsparse::layout::{generators, Layout};
+use subsparse::sparsify::eval::{evaluate, EvalOptions, MethodReport};
+use subsparse::sparsify::{all_methods, Method};
+use subsparse::substrate::solver;
+use subsparse::SparsifyOptions;
+
+/// The layouts the matrix runs over: the thesis's evaluation structures
+/// (regular, irregular with holes, alternating sizes, mixed shapes) at a
+/// size where dense grading is exact.
+pub fn matrix_layouts(quick: bool) -> Vec<(&'static str, Layout)> {
+    let k = if quick { 8 } else { 16 };
+    let mut v = vec![
+        ("regular", generators::regular_grid(128.0, k, 2.0)),
+        ("irregular", generators::irregular_same_size(128.0, k, 2.0, 3)),
+        ("alternating", generators::alternating_grid(128.0, k, 3.0, 1.5)),
+    ];
+    if !quick {
+        let (split, _) = generators::mixed_shapes(128.0).split_to_squares(5);
+        v.push(("mixed", split));
+    }
+    v
+}
+
+/// Runs every registered method over every matrix layout against the
+/// synthetic zero-cost kernel (isolating method behavior from solver
+/// noise) and returns the formatted table.
+pub fn run_method_matrix(quick: bool) -> String {
+    let mut out = String::new();
+    writeln!(out, "method matrix: every registered method x every evaluation layout").unwrap();
+    let opts = SparsifyOptions::default();
+    let eval_opts = EvalOptions { apply_iters: 4, ..Default::default() };
+    for (name, layout) in matrix_layouts(quick) {
+        writeln!(out, "\n--- layout {name}: {} contacts", layout.n_contacts()).unwrap();
+        writeln!(out, "{}", MethodReport::header()).unwrap();
+        for method in all_methods() {
+            match run_cell(*method, &layout, &opts, &eval_opts) {
+                Ok(report) => writeln!(out, "{}", report.row()).unwrap(),
+                Err(e) => writeln!(out, "{:<10} failed: {e}", method.name()).unwrap(),
+            }
+        }
+    }
+    out
+}
+
+/// One cell of the matrix: run `method` on `layout` and grade it.
+pub fn run_cell(
+    method: Method,
+    layout: &Layout,
+    opts: &SparsifyOptions,
+    eval_opts: &EvalOptions,
+) -> Result<MethodReport, subsparse::SparsifyError> {
+    let black_box = solver::synthetic(layout);
+    let outcome = method.build().sparsify(&black_box, layout, opts)?;
+    Ok(evaluate(method.name(), &outcome, &black_box, eval_opts))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_matrix_covers_all_methods_and_layouts() {
+        let table = run_method_matrix(true);
+        for (name, _) in matrix_layouts(true) {
+            assert!(table.contains(name), "missing layout {name} in:\n{table}");
+        }
+        for method in all_methods() {
+            assert!(table.contains(method.name()), "missing {method} in:\n{table}");
+        }
+        assert!(!table.contains("failed:"), "a matrix cell failed:\n{table}");
+    }
+}

@@ -8,6 +8,7 @@
 use std::fmt::Write as _;
 use std::time::Instant;
 
+use subsparse::extract_wavelet;
 use subsparse::hier::BasisRep;
 use subsparse::layout::generators;
 use subsparse::linalg::Mat;
@@ -19,7 +20,6 @@ use subsparse::substrate::{
     FdSolverConfig, Substrate, SubstrateSolver, TopBc,
 };
 use subsparse::wavelet::{build_basis, extract as wavelet_extract, ExtractOptions};
-use subsparse::extract_wavelet;
 
 use crate::examples::{ch3_examples, ch4_examples, large_examples, SolverKind};
 use crate::{fmt, pct};
@@ -86,8 +86,14 @@ pub fn run_table_2_2(quick: bool) -> String {
     )
     .expect("FD solver");
     let (fd_iters, fd_time) = time_solves(&fd, n, n_solves, || fd.stats().inner_iterations);
-    writeln!(out, "{:<18} {:>16} {:>18}", "finite difference", fmt(fd_iters), format!("{fd_time:.4}"))
-        .unwrap();
+    writeln!(
+        out,
+        "{:<18} {:>16} {:>18}",
+        "finite difference",
+        fmt(fd_iters),
+        format!("{fd_time:.4}")
+    )
+    .unwrap();
 
     let eig = EigenSolver::new(
         &substrate,
@@ -141,13 +147,9 @@ fn run_wavelet(ex: &crate::ExampleSpec) -> MethodRun {
 fn run_lowrank(ex: &crate::ExampleSpec) -> MethodRun {
     let solver = ex.build_solver().expect("solver");
     let counting = CountingSolver::new(&*solver);
-    let result = subsparse::lowrank::extract(
-        &counting,
-        &ex.layout,
-        ex.levels,
-        &LowRankOptions::default(),
-    )
-    .expect("low-rank extraction");
+    let result =
+        subsparse::lowrank::extract(&counting, &ex.layout, ex.levels, &LowRankOptions::default())
+            .expect("low-rank extraction");
     let solves = counting.count();
     let exact = extract_dense(&*solver);
     MethodRun { rep: result.rep, solves, exact }
@@ -175,9 +177,8 @@ pub fn run_table_3_1(quick: bool) -> String {
         let run = run_wavelet(&ex);
         let approx = run.rep.to_dense();
         let stats = error_stats(&run.exact, &approx);
-        let (thresh, _) = run.rep.thresholded_to_sparsity(
-            run.rep.sparsity_factor() * THRESHOLD_FACTOR,
-        );
+        let (thresh, _) =
+            run.rep.thresholded_to_sparsity(run.rep.sparsity_factor() * THRESHOLD_FACTOR);
         let tstats = error_stats(&run.exact, &thresh.to_dense());
         writeln!(
             out,
@@ -253,8 +254,7 @@ pub fn run_table_4_2(quick: bool) -> String {
     for ex in ch4_examples(quick) {
         let lr = run_lowrank(&ex);
         let wv = run_wavelet(&ex);
-        let (lr_t, _) =
-            lr.rep.thresholded_to_sparsity(lr.rep.sparsity_factor() * THRESHOLD_FACTOR);
+        let (lr_t, _) = lr.rep.thresholded_to_sparsity(lr.rep.sparsity_factor() * THRESHOLD_FACTOR);
         let lr_frac = frac_above(&lr.exact, &lr_t.to_dense(), 0.10);
         // wavelet at equal sparsity
         let (wv_eq_sp, _) = wv.rep.thresholded_to_sparsity(lr_t.sparsity_factor());
@@ -330,9 +330,8 @@ pub fn run_table_4_3(quick: bool) -> String {
         let exact_cols = extract_columns(&*solver, &cols);
         let approx_cols = result.rep.dense_columns(&cols);
         let stats = error_stats(&exact_cols, &approx_cols);
-        let (thresh, _) = result
-            .rep
-            .thresholded_to_sparsity(result.rep.sparsity_factor() * THRESHOLD_FACTOR);
+        let (thresh, _) =
+            result.rep.thresholded_to_sparsity(result.rep.sparsity_factor() * THRESHOLD_FACTOR);
         let thresh_cols = thresh.dense_columns(&cols);
         let t_frac = frac_above(&exact_cols, &thresh_cols, 0.10);
         // the thesis's entries span only ~500x (§5.1); grade the same

@@ -1,0 +1,77 @@
+//! A minimal wall-clock timing harness for the `benches/` targets.
+//!
+//! The workspace builds offline with no external bench framework, so the
+//! bench targets are plain `main` functions (`harness = false`) driving
+//! this module: warm up, pick an iteration count that fills a fixed
+//! measurement window, then report min/median/mean over batches.
+
+use std::time::{Duration, Instant};
+
+/// Target wall-clock per measurement batch.
+const BATCH_TARGET: Duration = Duration::from_millis(20);
+/// Number of measured batches.
+const BATCHES: usize = 11;
+
+/// Times `f` and prints one aligned result line: min / median / mean per
+/// iteration over the batches. Returns the median nanoseconds.
+pub fn bench(name: &str, mut f: impl FnMut()) -> f64 {
+    // warm up and calibrate the per-batch iteration count
+    let t0 = Instant::now();
+    f();
+    let once = t0.elapsed().max(Duration::from_nanos(1));
+    let iters = (BATCH_TARGET.as_nanos() / once.as_nanos()).clamp(1, 1_000_000) as usize;
+
+    let mut per_iter: Vec<f64> = (0..BATCHES)
+        .map(|_| {
+            let t = Instant::now();
+            for _ in 0..iters {
+                f();
+            }
+            t.elapsed().as_nanos() as f64 / iters as f64
+        })
+        .collect();
+    per_iter.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    let min = per_iter[0];
+    let median = per_iter[per_iter.len() / 2];
+    let mean = per_iter.iter().sum::<f64>() / per_iter.len() as f64;
+    println!(
+        "{name:<28} {:>12}/iter  (min {}, mean {}, {iters} iters x {BATCHES})",
+        fmt_ns(median),
+        fmt_ns(min),
+        fmt_ns(mean),
+    );
+    median
+}
+
+/// Formats nanoseconds with an adaptive unit (the shared formatter from
+/// the sparsify eval harness).
+pub fn fmt_ns(ns: f64) -> String {
+    subsparse::sparsify::eval::format_ns(ns)
+}
+
+/// Prints a group heading.
+pub fn group(name: &str) {
+    println!("\n== {name}");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_returns_positive_median() {
+        let mut acc = 0u64;
+        let med = bench("noop-ish", || {
+            acc = acc.wrapping_add(std::hint::black_box(1));
+        });
+        assert!(med > 0.0);
+    }
+
+    #[test]
+    fn ns_formatting() {
+        assert_eq!(fmt_ns(12.0), "12ns");
+        assert_eq!(fmt_ns(1500.0), "1.50us");
+        assert_eq!(fmt_ns(2.5e6), "2.50ms");
+        assert_eq!(fmt_ns(3.1e9), "3.10s");
+    }
+}

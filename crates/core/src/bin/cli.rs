@@ -17,13 +17,15 @@
 use std::path::PathBuf;
 use std::process::ExitCode;
 
-use subsparse::layout::SplitLayout;
+use subsparse::layout::{generators, SplitLayout};
 use subsparse::lowrank::LowRankOptions;
+use subsparse::sparsify::eval::{evaluate, EvalOptions, MethodReport};
+use subsparse::sparsify::{all_methods, Method};
 use subsparse::substrate::{
-    Backplane, CountingSolver, EigenSolver, EigenSolverConfig, FdSolver, FdSolverConfig, Layer,
-    Substrate, SubstrateSolver,
+    solver, Backplane, CountingSolver, EigenSolver, EigenSolverConfig, FdSolver, FdSolverConfig,
+    Layer, Substrate, SubstrateSolver,
 };
-use subsparse::{extract_lowrank, extract_wavelet, BasisRep, Layout};
+use subsparse::{extract_lowrank, extract_wavelet, BasisRep, Layout, SparsifyOptions};
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -41,9 +43,10 @@ const HELP: &str = "\
 subsparse-cli — sparse substrate-coupling model extraction
 
 USAGE:
-  subsparse-cli extract --layout FILE --out STEM [options]
-  subsparse-cli info    --model STEM
-  subsparse-cli apply   --model STEM --contact K [--volts V]
+  subsparse-cli extract  --layout FILE --out STEM [options]
+  subsparse-cli sparsify [--method NAME|all] [options]
+  subsparse-cli info     --model STEM
+  subsparse-cli apply    --model STEM --contact K [--volts V]
   subsparse-cli help
 
 EXTRACT OPTIONS:
@@ -59,11 +62,25 @@ EXTRACT OPTIONS:
   --solver S          eigen (default) | fd
   --panels P          eigen panels / FD grid per side (default 128)
   --threshold F       extra sparsification factor (e.g. 6); default off
+
+SPARSIFY OPTIONS (run registered methods side by side, shared metrics):
+  --method M          wavelet | lowrank | threshold | topk | svd | hybrid
+                      or `all` (default) to compare every registered method
+  --layout FILE       ASCII-art layout; default: a 16x16 regular grid
+  --grid K            contacts per side of the default grid (default 16)
+  --extent A          surface side length (default 128)
+  --solver S          synthetic (default; zero-cost kernel) | eigen | fd
+  --levels N          quadtree depth for wavelet/lowrank (default: auto)
+  --target F          nonzero budget n^2/F for the dense baselines
+                      (default 4)
+  --panels P          eigen/fd resolution (default 128)
+  --out STEM          save the (single) method's model as STEM.{q,gw}.mtx
 ";
 
 fn run(args: &[String]) -> Result<(), String> {
     match args.first().map(String::as_str) {
         Some("extract") => cmd_extract(&args[1..]),
+        Some("sparsify") => cmd_sparsify(&args[1..]),
         Some("info") => cmd_info(&args[1..]),
         Some("apply") => cmd_apply(&args[1..]),
         Some("help") | Some("--help") | Some("-h") | None => {
@@ -84,9 +101,8 @@ impl<'a> Opts<'a> {
         let mut pairs = Vec::new();
         let mut it = args.iter();
         while let Some(key) = it.next() {
-            let key = key
-                .strip_prefix("--")
-                .ok_or_else(|| format!("expected --option, got {key:?}"))?;
+            let key =
+                key.strip_prefix("--").ok_or_else(|| format!("expected --option, got {key:?}"))?;
             let value = it.next().ok_or_else(|| format!("--{key} needs a value"))?;
             pairs.push((key, value.as_str()));
         }
@@ -115,10 +131,8 @@ fn parse_substrate(spec: &str, backplane: Backplane) -> Result<Substrate, String
         let (t, c) = part
             .split_once(':')
             .ok_or_else(|| format!("layer {part:?} must be thickness:conductivity"))?;
-        let thickness: f64 =
-            t.parse().map_err(|_| format!("bad layer thickness {t:?}"))?;
-        let conductivity: f64 =
-            c.parse().map_err(|_| format!("bad layer conductivity {c:?}"))?;
+        let thickness: f64 = t.parse().map_err(|_| format!("bad layer thickness {t:?}"))?;
+        let conductivity: f64 = c.parse().map_err(|_| format!("bad layer conductivity {c:?}"))?;
         if thickness <= 0.0 || conductivity <= 0.0 {
             return Err(format!("layer {part:?} must have positive values"));
         }
@@ -150,8 +164,7 @@ fn cmd_extract(args: &[String]) -> Result<(), String> {
         .map_err(|e| format!("cannot read {layout_path}: {e}"))?;
     let raw = Layout::from_ascii(extent, extent, &art);
     raw.validate().map_err(|e| format!("invalid layout: {e}"))?;
-    let levels: usize =
-        opts.get_parsed("levels", subsparse::choose_levels(&raw, 16).max(2))?;
+    let levels: usize = opts.get_parsed("levels", subsparse::choose_levels(&raw, 16).max(2))?;
     let split = SplitLayout::new(&raw, levels as u32);
     let layout = split.layout();
     println!(
@@ -220,6 +233,89 @@ fn cmd_extract(args: &[String]) -> Result<(), String> {
     Ok(())
 }
 
+/// `sparsify` — run one or all registered methods through the shared
+/// `Sparsifier` trait and grade them with the shared evaluation harness.
+fn cmd_sparsify(args: &[String]) -> Result<(), String> {
+    let opts = Opts::parse(args)?;
+    let extent: f64 = opts.get_parsed("extent", 128.0)?;
+    let grid: usize = opts.get_parsed("grid", 16)?;
+    let panels: usize = opts.get_parsed("panels", 128)?;
+    let solver_kind = opts.get("solver").unwrap_or("synthetic");
+
+    // layout: from a file, or the default regular grid
+    let layout = match opts.get("layout") {
+        Some(path) => {
+            let art =
+                std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+            let raw = Layout::from_ascii(extent, extent, &art);
+            raw.validate().map_err(|e| format!("invalid layout: {e}"))?;
+            let levels = subsparse::choose_levels(&raw, 16).max(2);
+            SplitLayout::new(&raw, levels as u32).layout().clone()
+        }
+        None => generators::regular_grid(extent, grid, extent / grid as f64 / 2.0),
+    };
+    let n = layout.n_contacts();
+
+    let mut sopts = SparsifyOptions::default();
+    if let Some(l) = opts.get("levels") {
+        sopts.levels = Some(l.parse().map_err(|_| format!("bad value for --levels: {l:?}"))?);
+    }
+    sopts.target_sparsity = opts.get_parsed("target", sopts.target_sparsity)?;
+
+    let black_box: Box<dyn SubstrateSolver> = match solver_kind {
+        "synthetic" => Box::new(solver::synthetic(&layout)),
+        "eigen" => Box::new(
+            EigenSolver::new(
+                &Substrate::thesis_standard(),
+                &layout,
+                EigenSolverConfig { panels, ..Default::default() },
+            )
+            .map_err(|e| format!("eigen solver: {e}"))?,
+        ),
+        "fd" => Box::new(
+            FdSolver::new(
+                &Substrate::thesis_standard(),
+                &layout,
+                FdSolverConfig { nx: panels, ny: panels, ..Default::default() },
+            )
+            .map_err(|e| format!("fd solver: {e}"))?,
+        ),
+        other => return Err(format!("unknown solver {other:?}")),
+    };
+
+    let methods: Vec<Method> = match opts.get("method").unwrap_or("all") {
+        "all" => all_methods().to_vec(),
+        name => vec![name.parse().map_err(|e| format!("{e}"))?],
+    };
+
+    println!(
+        "sparsify: {n} contacts, solver = {solver_kind}, target sparsity {:.1}x",
+        sopts.target_sparsity
+    );
+    println!("{}", MethodReport::header());
+    let eval_opts = EvalOptions::default();
+    for method in &methods {
+        let outcome = method
+            .build()
+            .sparsify(&*black_box, &layout, &sopts)
+            .map_err(|e| format!("{method}: {e}"))?;
+        let report = evaluate(method.name(), &outcome, &*black_box, &eval_opts);
+        println!("{}", report.row());
+        if let (Some(stem), true) = (opts.get("out"), methods.len() == 1) {
+            let stem = PathBuf::from(stem);
+            outcome.rep.save(&stem).map_err(|e| format!("saving model: {e}"))?;
+            println!("wrote {}.q.mtx and {}.gw.mtx", stem.display(), stem.display());
+        }
+    }
+    if methods.len() > 1 {
+        println!("\nguidance:");
+        for method in &methods {
+            println!("  {:<10} {}", method.name(), method.summary());
+        }
+    }
+    Ok(())
+}
+
 fn cmd_info(args: &[String]) -> Result<(), String> {
     let opts = Opts::parse(args)?;
     let stem = PathBuf::from(opts.require("model")?);
@@ -235,10 +331,8 @@ fn cmd_info(args: &[String]) -> Result<(), String> {
 fn cmd_apply(args: &[String]) -> Result<(), String> {
     let opts = Opts::parse(args)?;
     let stem = PathBuf::from(opts.require("model")?);
-    let contact: usize = opts
-        .require("contact")?
-        .parse()
-        .map_err(|_| "bad --contact index".to_string())?;
+    let contact: usize =
+        opts.require("contact")?.parse().map_err(|_| "bad --contact index".to_string())?;
     let volts: f64 = opts.get_parsed("volts", 1.0)?;
     let rep = BasisRep::load(&stem).map_err(|e| format!("loading model: {e}"))?;
     if contact >= rep.n() {

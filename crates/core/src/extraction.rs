@@ -4,8 +4,8 @@
 use subsparse_hier::{BasisRep, HierError, Quadtree};
 use subsparse_layout::Layout;
 use subsparse_lowrank::{LowRankOptions, RowBasisRep};
+use subsparse_sparsify::{Method, SparsifyError, SparsifyOptions, SparsifyOutcome};
 use subsparse_substrate::{CountingSolver, SubstrateSolver};
-use subsparse_wavelet::ExtractOptions;
 
 /// The result of a sparsifying extraction: the representation plus the
 /// cost metrics the thesis tables report.
@@ -18,6 +18,42 @@ pub struct Extraction {
 }
 
 impl Extraction {
+    /// Runs any registered sparsification [`Method`] through the
+    /// [`Sparsifier`] trait — the generic front door the named pipelines
+    /// below are sugar over.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the method's [`SparsifyError`].
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use subsparse::layout::generators;
+    /// use subsparse::substrate::solver;
+    /// use subsparse::{Extraction, Method, SparsifyOptions};
+    ///
+    /// let layout = generators::regular_grid(128.0, 8, 2.0);
+    /// let black_box = solver::synthetic(&layout);
+    /// let x = Extraction::with_method(
+    ///     Method::Threshold,
+    ///     &black_box,
+    ///     &layout,
+    ///     &SparsifyOptions::default(),
+    /// )?;
+    /// assert_eq!(x.n(), 64);
+    /// # Ok::<(), subsparse::SparsifyError>(())
+    /// ```
+    pub fn with_method(
+        method: Method,
+        solver: &dyn SubstrateSolver,
+        layout: &Layout,
+        opts: &SparsifyOptions,
+    ) -> Result<Extraction, SparsifyError> {
+        let outcome = method.build().sparsify(solver, layout, opts)?;
+        Ok(Extraction::from(outcome))
+    }
+
     /// Number of contacts.
     pub fn n(&self) -> usize {
         self.rep.n()
@@ -64,10 +100,13 @@ pub fn extract_wavelet<S: SubstrateSolver + ?Sized>(
     levels: usize,
     p: usize,
 ) -> Result<Extraction, HierError> {
-    let counting = CountingSolver::new(solver);
-    let basis = subsparse_wavelet::build_basis(layout, levels, p)?;
-    let rep = subsparse_wavelet::extract(&counting, &basis, &ExtractOptions::default());
-    Ok(Extraction { rep, solves: counting.count() })
+    let opts = SparsifyOptions { levels: Some(levels), moment_order: p, ..Default::default() };
+    match Extraction::with_method(Method::Wavelet, &solver, layout, &opts) {
+        Ok(x) => Ok(x),
+        Err(SparsifyError::Hier(e)) => Err(e),
+        // the wavelet adapter only produces layout/hierarchy errors
+        Err(e) => unreachable!("wavelet sparsifier returned non-hier error: {e}"),
+    }
 }
 
 /// Runs the low-rank method end to end (thesis Ch. 4): phase-1 row-basis
@@ -111,6 +150,12 @@ pub fn extract_lowrank<S: SubstrateSolver + ?Sized>(
 /// [`Quadtree::choose_levels`]).
 pub fn choose_levels(layout: &Layout, cap: usize) -> usize {
     Quadtree::choose_levels(layout, cap)
+}
+
+impl From<SparsifyOutcome> for Extraction {
+    fn from(outcome: SparsifyOutcome) -> Self {
+        Extraction { rep: outcome.rep, solves: outcome.solves }
+    }
 }
 
 #[cfg(test)]

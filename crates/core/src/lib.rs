@@ -24,6 +24,39 @@
 //! layout generators for the thesis's evaluation examples ([`layout`]),
 //! and the quadtree machinery shared by both methods ([`hier`]).
 //!
+//! ## The `sparsify` subsystem
+//!
+//! Every sparsification method lives behind one trait,
+//! [`Sparsifier`]: black-box solver + layout in, a
+//! [`BasisRep`] with cost accounting out. Methods are registered by name
+//! ([`Method`], [`sparsify::all_methods`]) and graded by one shared
+//! harness ([`sparsify::eval`]) reporting relative Frobenius/column
+//! error, nonzero ratio, and apply time — so `cli sparsify`, the bench
+//! `method_matrix`, and the `sparsify_compare` example all print the
+//! same apples-to-apples comparison.
+//!
+//! Which method to pick:
+//!
+//! * [`Method::Wavelet`] — `O(log n)` solves; basis built from contact
+//!   geometry alone. Best on layouts with uniform contact sizes; degrades
+//!   on mixed sizes (thesis Table 3.1, Example 3).
+//! * [`Method::LowRank`] — `O(log n)` solves; basis adapted to the
+//!   operator's sampled responses. The robust default, especially for
+//!   mixed contact sizes and shapes (thesis Table 4.2).
+//! * [`Method::Threshold`] / [`Method::TopK`] — `n` solves; drop small
+//!   entries of the dense `G` globally / per row. Fine when `n` dense
+//!   solves are affordable and the coupling decays fast; `topk` keeps
+//!   small contacts from being starved.
+//! * [`Method::Svd`] — `n` solves; optimal low-rank compression, but
+//!   substrate `G`s are diagonally dominant, so it carries a large floor
+//!   error. Registered as the instructive extreme.
+//! * [`Method::HybridSvdThreshold`] — `n` solves; truncated SVD plus a
+//!   thresholded remainder, for operators with a heavy smooth far-field
+//!   part.
+//!
+//! New methods (spectral, trace-reduction, randomized, ...) drop in by
+//! implementing [`Sparsifier`] and registering a [`Method`] variant.
+//!
 //! ## Quickstart
 //!
 //! ```
@@ -49,10 +82,13 @@
 //! ```
 
 pub mod extraction;
-pub mod metrics;
 pub mod spy;
 
 pub use extraction::{choose_levels, extract_lowrank, extract_wavelet, Extraction};
+
+/// Shared error/sparsity metrics (lives in [`sparsify`], re-exported here
+/// so `subsparse::metrics` keeps working).
+pub use subsparse_sparsify::metrics;
 
 /// Dense/sparse linear algebra kernels (SVD, QR, CG, FFT/DCT, CSR).
 pub use subsparse_linalg as linalg;
@@ -72,6 +108,13 @@ pub use subsparse_wavelet as wavelet;
 
 /// The low-rank sparsification method (thesis Ch. 4, ICCAD 2001).
 pub use subsparse_lowrank as lowrank;
+
+/// The unified sparsification subsystem: the [`Sparsifier`] trait, the
+/// method registry, and the shared evaluation harness.
+pub use subsparse_sparsify as sparsify;
+
+// The sparsify vocabulary most users touch, at the root.
+pub use subsparse_sparsify::{Method, Sparsifier, SparsifyError, SparsifyOptions, SparsifyOutcome};
 
 // The types that almost every user touches, re-exported at the root.
 pub use subsparse_hier::BasisRep;

@@ -328,7 +328,7 @@ mod tests {
             (0usize, 0usize, 100.0),
             (1, 1, 100.0),
             (2, 2, 1.0),
-            (0, 1, 5.0),  // scaled ratio 5/sqrt(100*100) = 0.05
+            (0, 1, 5.0), // scaled ratio 5/sqrt(100*100) = 0.05
             (1, 0, 5.0),
             (1, 2, -0.6), // scaled ratio 0.6/sqrt(100*1) = 0.06
             (2, 1, -0.6),

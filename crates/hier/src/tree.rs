@@ -172,9 +172,12 @@ impl Quadtree {
             for iy in 0..kk {
                 for ix in 0..kk {
                     let mut acc = Vec::new();
-                    for (cx, cy) in
-                        [(2 * ix, 2 * iy), (2 * ix + 1, 2 * iy), (2 * ix, 2 * iy + 1), (2 * ix + 1, 2 * iy + 1)]
-                    {
+                    for (cx, cy) in [
+                        (2 * ix, 2 * iy),
+                        (2 * ix + 1, 2 * iy),
+                        (2 * ix, 2 * iy + 1),
+                        (2 * ix + 1, 2 * iy + 1),
+                    ] {
                         acc.extend_from_slice(&fine[cy * (kk * 2) + cx]);
                     }
                     acc.sort_unstable();
@@ -192,10 +195,7 @@ impl Quadtree {
         for levels in 2..=12 {
             if let Ok(t) = Quadtree::new(layout, levels) {
                 let k = 1usize << levels;
-                let max = (0..k * k)
-                    .map(|s| t.contacts[levels][s].len())
-                    .max()
-                    .unwrap_or(0);
+                let max = (0..k * k).map(|s| t.contacts[levels][s].len()).max().unwrap_or(0);
                 if max <= cap {
                     return levels;
                 }
@@ -240,10 +240,7 @@ impl Quadtree {
     /// Geometric center of a square.
     pub fn center(&self, s: Square) -> (f64, f64) {
         let k = self.side(s.level as usize) as f64;
-        (
-            (s.ix as f64 + 0.5) * self.extent.0 / k,
-            (s.iy as f64 + 0.5) * self.extent.1 / k,
-        )
+        ((s.ix as f64 + 0.5) * self.extent.0 / k, (s.iy as f64 + 0.5) * self.extent.1 / k)
     }
 
     /// All squares of a level in row-major order.
@@ -405,9 +402,8 @@ mod tests {
     #[test]
     fn rejects_crossing_contacts() {
         let mut layout = subsparse_layout::Layout::new(8.0, 8.0);
-        layout.push(subsparse_layout::Contact::rect(subsparse_layout::Rect::new(
-            1.0, 1.0, 7.0, 2.0,
-        )));
+        layout
+            .push(subsparse_layout::Contact::rect(subsparse_layout::Rect::new(1.0, 1.0, 7.0, 2.0)));
         assert_eq!(
             Quadtree::new(&layout, 1).unwrap_err(),
             HierError::ContactCrossesSquare { contact: 0 }

@@ -6,8 +6,7 @@
 //! is seeded and deterministic.
 
 use crate::{Contact, Layout, Rect};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use subsparse_linalg::rng::SmallRng;
 
 /// A `k x k` grid of square contacts of side `size`, each centered in its
 /// site cell (thesis Fig 3-6, Examples 1a/1b).
@@ -36,14 +35,14 @@ pub fn regular_grid(extent: f64, k: usize, size: f64) -> Layout {
 pub fn irregular_same_size(extent: f64, k: usize, size: f64, seed: u64) -> Layout {
     let cell = extent / k as f64;
     assert!(size < cell, "contact size {size} must be smaller than the cell {cell}");
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = SmallRng::seed_from_u64(seed);
     // blob holes: centers and radii in site units
     let n_holes = 4 + k / 16;
     let holes: Vec<(f64, f64, f64)> = (0..n_holes)
         .map(|_| {
-            let cx = rng.gen_range(0.0..k as f64);
-            let cy = rng.gen_range(0.0..k as f64);
-            let r = rng.gen_range(k as f64 / 20.0..k as f64 / 8.0);
+            let cx = rng.range_f64(0.0, k as f64);
+            let cy = rng.range_f64(0.0, k as f64);
+            let r = rng.range_f64(k as f64 / 20.0, k as f64 / 8.0);
             (cx, cy, r)
         })
         .collect();
@@ -52,8 +51,7 @@ pub fn irregular_same_size(extent: f64, k: usize, size: f64, seed: u64) -> Layou
     for iy in 0..k {
         for ix in 0..k {
             let (sx, sy) = (ix as f64 + 0.5, iy as f64 + 0.5);
-            let in_hole =
-                holes.iter().any(|&(cx, cy, r)| (sx - cx).hypot(sy - cy) < r);
+            let in_hole = holes.iter().any(|&(cx, cy, r)| (sx - cx).hypot(sy - cy) < r);
             // independent dropout as well
             let dropped = rng.gen_bool(0.08);
             if in_hole || dropped {
@@ -213,7 +211,7 @@ pub fn two_square_demo() -> (Layout, Vec<usize>, Vec<usize>) {
     // source square: one small and one large contact (area ratio 2.25)
     let c1 = l.push(Contact::rect(Rect::new(10.0, 34.0, 12.0, 36.0))); // 2x2
     let c2 = l.push(Contact::rect(Rect::new(4.0, 38.0, 7.0, 41.0))); // 3x3
-    // destination square: four same-size contacts, well separated
+                                                                     // destination square: four same-size contacts, well separated
     let mut dst = Vec::new();
     for (x, y) in [(40.0, 10.0), (44.0, 10.0), (40.0, 14.0), (44.0, 14.0)] {
         dst.push(l.push(Contact::rect(Rect::new(x, y, x + 2.0, y + 2.0))));

@@ -359,7 +359,7 @@ impl Layout {
         let dy = b / h as f64;
         // union-find over cells
         let mut parent: Vec<usize> = (0..w * h).collect();
-        fn find(p: &mut Vec<usize>, mut i: usize) -> usize {
+        fn find(p: &mut [usize], mut i: usize) -> usize {
             while p[i] != i {
                 p[i] = p[p[i]];
                 i = p[i];

@@ -144,8 +144,7 @@ mod tests {
         let split = SplitLayout::new(&original, 2);
         let v = [2.0, -1.0];
         let w: Vec<f64> = (0..split.n_pieces()).map(|p| 0.5 + p as f64).collect();
-        let lhs: f64 =
-            split.expand_voltages(&v).iter().zip(&w).map(|(a, b)| a * b).sum();
+        let lhs: f64 = split.expand_voltages(&v).iter().zip(&w).map(|(a, b)| a * b).sum();
         let rhs: f64 = v.iter().zip(split.reduce_currents(&w)).map(|(a, b)| a * b).sum();
         assert!((lhs - rhs).abs() < 1e-12);
     }

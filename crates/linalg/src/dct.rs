@@ -19,7 +19,7 @@
 //! algorithm), so a plan costs `O(n log n)` per transform with no
 //! trigonometry in the hot loop.
 
-use crate::fft::{C64, Fft};
+use crate::fft::{Fft, C64};
 
 /// A DCT-II plan of fixed power-of-two length.
 #[derive(Clone, Debug)]

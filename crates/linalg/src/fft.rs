@@ -161,9 +161,8 @@ mod tests {
     fn matches_naive_dft() {
         for &n in &[1usize, 2, 4, 8, 32, 128] {
             let plan = Fft::new(n);
-            let mut x: Vec<C64> = (0..n)
-                .map(|i| C64::new((i as f64 * 0.7).sin(), (i as f64 * 1.3).cos()))
-                .collect();
+            let mut x: Vec<C64> =
+                (0..n).map(|i| C64::new((i as f64 * 0.7).sin(), (i as f64 * 1.3).cos())).collect();
             let expect = naive_dft(&x);
             plan.forward(&mut x);
             for (a, b) in x.iter().zip(&expect) {

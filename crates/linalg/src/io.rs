@@ -82,9 +82,8 @@ pub fn write_matrix_market<W: Write>(m: &Csr, mut w: W) -> io::Result<()> {
 pub fn read_matrix_market<R: BufRead>(r: R) -> Result<Csr, ReadMatrixError> {
     let mut lines = r.lines().enumerate();
     // header
-    let (_, header) = lines
-        .next()
-        .ok_or_else(|| ReadMatrixError::UnsupportedFormat("empty file".into()))?;
+    let (_, header) =
+        lines.next().ok_or_else(|| ReadMatrixError::UnsupportedFormat("empty file".into()))?;
     let header = header?;
     let h = header.to_ascii_lowercase();
     let symmetric = if h.starts_with("%%matrixmarket matrix coordinate real general") {
@@ -160,10 +159,9 @@ pub fn read_matrix_market<R: BufRead>(r: R) -> Result<Csr, ReadMatrixError> {
     }
     match (size, remaining) {
         (Some(_), 0) => Ok(trips.expect("size parsed").to_csr()),
-        (Some(_), missing) => Err(ReadMatrixError::Parse {
-            line: 0,
-            message: format!("{missing} entries missing"),
-        }),
+        (Some(_), missing) => {
+            Err(ReadMatrixError::Parse { line: 0, message: format!("{missing} entries missing") })
+        }
         (None, _) => Err(ReadMatrixError::Parse { line: 0, message: "no size line".into() }),
     }
 }
@@ -212,15 +210,9 @@ mod tests {
             Err(ReadMatrixError::UnsupportedFormat(_))
         ));
         let text = "%%MatrixMarket matrix coordinate real general\n2 2 1\n3 1 1.0\n";
-        assert!(matches!(
-            read_matrix_market(text.as_bytes()),
-            Err(ReadMatrixError::Parse { .. })
-        ));
+        assert!(matches!(read_matrix_market(text.as_bytes()), Err(ReadMatrixError::Parse { .. })));
         let text = "%%MatrixMarket matrix coordinate real general\n2 2 2\n1 1 1.0\n";
-        assert!(matches!(
-            read_matrix_market(text.as_bytes()),
-            Err(ReadMatrixError::Parse { .. })
-        ));
+        assert!(matches!(read_matrix_market(text.as_bytes()), Err(ReadMatrixError::Parse { .. })));
     }
 
     #[test]

@@ -35,6 +35,7 @@ pub mod fft;
 pub mod io;
 pub mod mat;
 pub mod qr;
+pub mod rng;
 pub mod sparse;
 pub mod svd;
 pub mod tridiag;

@@ -16,8 +16,7 @@
 //! combine-solves technique of §3.5 and refined at each local destination
 //! with eq. (4.24).
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use subsparse_linalg::rng::SmallRng;
 
 use subsparse_hier::{HierError, Quadtree, Square};
 use subsparse_layout::Layout;
@@ -258,11 +257,10 @@ pub fn build_row_basis<S: SubstrateSolver + ?Sized>(
     let n = layout.n_contacts();
     assert_eq!(solver.n_contacts(), n, "solver/layout contact count mismatch");
     let finest = tree.finest();
-    let mut rng = StdRng::seed_from_u64(options.seed);
+    let mut rng = SmallRng::seed_from_u64(options.seed);
 
-    let mut squares: Vec<Vec<SquareData>> = (0..=finest)
-        .map(|l| vec![SquareData::empty(); tree.side(l) * tree.side(l)])
-        .collect();
+    let mut squares: Vec<Vec<SquareData>> =
+        (0..=finest).map(|l| vec![SquareData::empty(); tree.side(l) * tree.side(l)]).collect();
 
     // ================= coarsest level (2): direct solves =================
     {
@@ -345,10 +343,8 @@ pub fn build_row_basis<S: SubstrateSolver + ?Sized>(
         let max_m = options.samples_per_square;
         let mut sample_resp: Vec<Vec<Vec<f64>>> = vec![Vec::new(); side * side];
         for m in 0..max_m {
-            let this: Vec<Option<&[f64]>> = tree
-                .squares(lev)
-                .map(|s| samples[s.flat()].get(m).map(|v| v.as_slice()))
-                .collect();
+            let this: Vec<Option<&[f64]>> =
+                tree.squares(lev).map(|s| samples[s.flat()].get(m).map(|v| v.as_slice())).collect();
             let resp = split_responses(solver, &tree, &squares, lev, &this, options);
             for (s, r) in tree.squares(lev).zip(resp) {
                 if let Some(r) = r {
@@ -385,8 +381,7 @@ pub fn build_row_basis<S: SubstrateSolver + ?Sized>(
             squares[lev][s.flat()].v = row_basis_from_samples(&cols, cs.len(), options);
         }
         // -- responses to the row bases, column index by column index
-        let max_r =
-            tree.squares(lev).map(|s| squares[lev][s.flat()].v.n_cols()).max().unwrap_or(0);
+        let max_r = tree.squares(lev).map(|s| squares[lev][s.flat()].v.n_cols()).max().unwrap_or(0);
         let mut resp_cols: Vec<Vec<Vec<f64>>> = vec![Vec::new(); side * side];
         for j in 0..max_r {
             let this: Vec<Option<Vec<f64>>> = tree
@@ -443,9 +438,9 @@ fn row_basis_from_samples(cols: &[Vec<f64>], n_s: usize, options: &LowRankOption
 }
 
 /// Draws a random unit vector of the given length.
-fn random_unit(rng: &mut StdRng, len: usize) -> Vec<f64> {
+fn random_unit(rng: &mut SmallRng, len: usize) -> Vec<f64> {
     loop {
-        let v: Vec<f64> = (0..len).map(|_| rng.gen_range(-1.0..1.0)).collect();
+        let v: Vec<f64> = (0..len).map(|_| rng.range_f64(-1.0, 1.0)).collect();
         let norm = v.iter().map(|x| x * x).sum::<f64>().sqrt();
         if norm > 1e-6 {
             return v.iter().map(|x| x / norm).collect();
@@ -542,7 +537,9 @@ fn split_responses<S: SubstrateSolver + ?Sized>(
                 // per member: refine the raw local responses (eq. 4.24) and
                 // add the parent row-basis part (eq. 4.22)
                 for sp in &group {
-                    let resp = assemble_split_response(tree, squares, sp.s, sp.parent, &sp.coeff, &sp.o, &y);
+                    let resp = assemble_split_response(
+                        tree, squares, sp.s, sp.parent, &sp.coeff, &sp.o, &y,
+                    );
                     out[sp.s.flat()] = Some(resp);
                 }
             }
@@ -577,10 +574,8 @@ fn assemble_split_response(
     if !coeff.is_empty() {
         let t1 = pd.resp_v.matvec(coeff);
         for (k, &ci) in p_contacts_s.iter().enumerate() {
-            let idx = pd
-                .p_contacts
-                .binary_search(&ci)
-                .expect("P_s region must be inside P_p region");
+            let idx =
+                pd.p_contacts.binary_search(&ci).expect("P_s region must be inside P_p region");
             resp[k] += t1[idx];
         }
     }
@@ -831,8 +826,7 @@ mod tests {
         let layout = generators::alternating_grid(128.0, 8, 3.0, 1.0);
         let s = solver::synthetic(&layout);
         let g = s.matrix().clone();
-        let fast =
-            build_row_basis(&s, &layout, 3, &LowRankOptions::default()).unwrap();
+        let fast = build_row_basis(&s, &layout, 3, &LowRankOptions::default()).unwrap();
         let exact_opts = LowRankOptions { spacing: 0, ..LowRankOptions::default() };
         let slow = build_row_basis(&s, &layout, 3, &exact_opts).unwrap();
         let e_fast = rel_fro_error(&fast.to_dense(), &g);

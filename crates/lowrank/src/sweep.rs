@@ -69,9 +69,8 @@ pub fn to_basis_rep_with(rb: &RowBasisRep, rank_tol: f64, max_rank: usize) -> Ba
     let tree = rb.tree();
     let n = rb.n();
     let finest = tree.finest();
-    let mut sweep: Vec<Vec<SweepSquare>> = (0..=finest)
-        .map(|l| vec![SweepSquare::empty(); tree.side(l) * tree.side(l)])
-        .collect();
+    let mut sweep: Vec<Vec<SweepSquare>> =
+        (0..=finest).map(|l| vec![SweepSquare::empty(); tree.side(l) * tree.side(l)]).collect();
 
     // ---- finest level: U = V, T = W, responses from the explicit blocks
     for s in tree.squares(finest) {
@@ -141,8 +140,14 @@ pub fn to_basis_rep_with(rb: &RowBasisRep, rank_tol: f64, max_rank: usize) -> Ba
                 );
                 resp.col_mut(j).copy_from_slice(&col);
             }
-            sweep[lev][p.flat()] =
-                SweepSquare { u, t, resp, l_contacts, t_col_start: usize::MAX, u_col_start: usize::MAX };
+            sweep[lev][p.flat()] = SweepSquare {
+                u,
+                t,
+                resp,
+                l_contacts,
+                t_col_start: usize::MAX,
+                u_col_start: usize::MAX,
+            };
         }
     }
 
@@ -277,11 +282,7 @@ pub fn to_basis_rep_with(rb: &RowBasisRep, rank_tol: f64, max_rank: usize) -> Ba
 /// Stacks the children's `U` vectors into the parent's contact coordinates.
 ///
 /// Returns the block matrix and, per column, the owning child square.
-fn child_u_block(
-    tree: &Quadtree,
-    child_sweep: &[SweepSquare],
-    p: Square,
-) -> (Mat, Vec<Square>) {
+fn child_u_block(tree: &Quadtree, child_sweep: &[SweepSquare], p: Square) -> (Mat, Vec<Square>) {
     let pcs = tree.contacts_in_square(p);
     let total: usize = p.children().iter().map(|c| child_sweep[c.flat()].u.n_cols()).sum();
     let mut x = Mat::zeros(pcs.len(), total);

@@ -1,0 +1,245 @@
+//! The shared evaluation harness: every method, graded the same way.
+//!
+//! A [`MethodReport`] collects the quantities the thesis tables report —
+//! solve count, nonzero ratio, reconstruction error — plus apply time, on
+//! top of the error metrics in [`metrics`](crate::metrics). Reports format
+//! themselves as aligned table rows so the CLI, the benches, and the
+//! examples all print the same comparison.
+
+use std::fmt::Write as _;
+use std::time::Instant;
+
+use subsparse_linalg::Mat;
+use subsparse_substrate::{solver::extract_columns, SubstrateSolver};
+
+use crate::metrics::{frac_above, rel_fro_error};
+use crate::SparsifyOutcome;
+
+/// Evaluation knobs.
+#[derive(Clone, Copy, Debug)]
+pub struct EvalOptions {
+    /// Above this contact count, grade on a column sample instead of the
+    /// full dense `G` (forming all of `G` costs `n` solves and `n^2`
+    /// memory).
+    pub max_dense_n: usize,
+    /// Number of reference columns sampled in the large-`n` regime.
+    pub sample_cols: usize,
+    /// Iterations for the apply-time measurement.
+    pub apply_iters: usize,
+}
+
+impl Default for EvalOptions {
+    fn default() -> Self {
+        EvalOptions { max_dense_n: 2048, sample_cols: 64, apply_iters: 16 }
+    }
+}
+
+/// Quality and cost of one method run, on shared metrics.
+#[derive(Clone, Debug)]
+pub struct MethodReport {
+    /// Registry name of the method.
+    pub method: String,
+    /// Number of contacts.
+    pub n: usize,
+    /// Black-box solves spent building the representation.
+    pub solves: usize,
+    /// `n / solves`.
+    pub solve_reduction: f64,
+    /// Stored nonzeros (`Q` plus `Gw`).
+    pub nnz: usize,
+    /// `nnz / n^2` (lower is sparser).
+    pub nnz_ratio: f64,
+    /// Relative Frobenius error over the graded columns.
+    pub rel_fro_error: f64,
+    /// Largest relative 2-norm error of any graded column.
+    pub max_col_error: f64,
+    /// Fraction of graded entries off by more than 10% (the thesis's
+    /// thresholded-accuracy column).
+    pub frac_above_10pct: f64,
+    /// Mean wall-clock nanoseconds per `Q (Gw (Q' v))` apply.
+    pub apply_ns: f64,
+    /// Wall-clock milliseconds spent building the representation.
+    pub build_ms: f64,
+    /// How many columns were graded (`n` when graded densely).
+    pub graded_cols: usize,
+}
+
+impl MethodReport {
+    /// The aligned header matching [`row`](Self::row).
+    pub fn header() -> String {
+        format!(
+            "{:<10} {:>6} {:>7} {:>8} {:>9} {:>10} {:>10} {:>8} {:>10} {:>9}",
+            "method",
+            "n",
+            "solves",
+            "red.",
+            "nnz/n^2",
+            "fro err",
+            "col err",
+            ">10%",
+            "apply",
+            "build"
+        )
+    }
+
+    /// One aligned table row.
+    pub fn row(&self) -> String {
+        let mut s = String::new();
+        write!(
+            s,
+            "{:<10} {:>6} {:>7} {:>8.1} {:>9.4} {:>10.3e} {:>10.3e} {:>7.1}% {:>10} {:>7.0}ms",
+            self.method,
+            self.n,
+            self.solves,
+            self.solve_reduction,
+            self.nnz_ratio,
+            self.rel_fro_error,
+            self.max_col_error,
+            100.0 * self.frac_above_10pct,
+            format_ns(self.apply_ns),
+            self.build_ms,
+        )
+        .unwrap();
+        s
+    }
+}
+
+/// Formats nanoseconds with an adaptive unit (shared by the report rows
+/// and the bench timing harness).
+pub fn format_ns(ns: f64) -> String {
+    if ns >= 1e9 {
+        format!("{:.2}s", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:.2}ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.2}us", ns / 1e3)
+    } else {
+        format!("{ns:.0}ns")
+    }
+}
+
+/// Grades an outcome against reference columns `reference = G(:, cols)`.
+///
+/// This is the shared core: [`evaluate`] and [`evaluate_dense`] only
+/// differ in how they obtain the reference.
+///
+/// # Panics
+///
+/// Panics if `reference` has a different row count than the outcome or a
+/// different column count than `cols`.
+pub fn evaluate_columns(
+    method: &str,
+    outcome: &SparsifyOutcome,
+    reference: &Mat,
+    cols: &[usize],
+    opts: &EvalOptions,
+) -> MethodReport {
+    assert_eq!(reference.n_rows(), outcome.n(), "reference/outcome row mismatch");
+    assert_eq!(reference.n_cols(), cols.len(), "reference/cols mismatch");
+    let n = outcome.n();
+    let approx = outcome.rep.dense_columns(cols);
+
+    let mut max_col_error = 0.0_f64;
+    for (k, _) in cols.iter().enumerate() {
+        let (rc, ac) = (reference.col(k), approx.col(k));
+        let mut diff2 = 0.0;
+        let mut ref2 = 0.0;
+        for (r, a) in rc.iter().zip(ac) {
+            diff2 += (a - r) * (a - r);
+            ref2 += r * r;
+        }
+        if ref2 > 0.0 {
+            max_col_error = max_col_error.max((diff2 / ref2).sqrt());
+        }
+    }
+
+    // apply-time on a fixed deterministic vector
+    let v: Vec<f64> = (0..n).map(|i| ((i * 37) % 101) as f64 / 101.0 - 0.5).collect();
+    let t0 = Instant::now();
+    for _ in 0..opts.apply_iters.max(1) {
+        std::hint::black_box(outcome.rep.apply(std::hint::black_box(&v)));
+    }
+    let apply_ns = t0.elapsed().as_nanos() as f64 / opts.apply_iters.max(1) as f64;
+
+    MethodReport {
+        method: method.to_string(),
+        n,
+        solves: outcome.solves,
+        solve_reduction: outcome.solve_reduction_factor(),
+        nnz: outcome.nnz(),
+        nnz_ratio: outcome.nnz_ratio(),
+        rel_fro_error: rel_fro_error(reference, &approx),
+        max_col_error,
+        frac_above_10pct: frac_above(reference, &approx, 0.10),
+        apply_ns,
+        build_ms: outcome.build_time.as_secs_f64() * 1e3,
+        graded_cols: cols.len(),
+    }
+}
+
+/// Grades an outcome against a precomputed dense reference `G`.
+pub fn evaluate_dense(
+    method: &str,
+    outcome: &SparsifyOutcome,
+    g: &Mat,
+    opts: &EvalOptions,
+) -> MethodReport {
+    let cols: Vec<usize> = (0..outcome.n()).collect();
+    evaluate_columns(method, outcome, g, &cols, opts)
+}
+
+/// Grades an outcome against the black-box solver itself: all `n` columns
+/// when `n <= opts.max_dense_n`, otherwise a deterministic stride sample
+/// of `opts.sample_cols` columns (the thesis's Table 4.3 protocol).
+pub fn evaluate(
+    method: &str,
+    outcome: &SparsifyOutcome,
+    solver: &dyn SubstrateSolver,
+    opts: &EvalOptions,
+) -> MethodReport {
+    let n = outcome.n();
+    let cols: Vec<usize> = if n <= opts.max_dense_n {
+        (0..n).collect()
+    } else {
+        let stride = (n / opts.sample_cols.max(1)).max(1);
+        (0..n).step_by(stride).collect()
+    };
+    let reference = extract_columns(solver, &cols);
+    evaluate_columns(method, outcome, &reference, &cols, opts)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Method, SparsifyOptions};
+    use subsparse_layout::generators;
+    use subsparse_substrate::solver;
+
+    #[test]
+    fn report_grades_threshold_method() {
+        let layout = generators::regular_grid(128.0, 8, 2.0);
+        let s = solver::synthetic(&layout);
+        let out =
+            Method::Threshold.build().sparsify(&s, &layout, &SparsifyOptions::default()).unwrap();
+        let report = evaluate_dense("threshold", &out, s.matrix(), &EvalOptions::default());
+        assert_eq!(report.n, 64);
+        assert_eq!(report.graded_cols, 64);
+        assert!(report.rel_fro_error < 0.1, "{}", report.rel_fro_error);
+        assert!(report.max_col_error >= report.rel_fro_error * 0.1);
+        assert!(report.nnz_ratio > 0.0 && report.nnz_ratio < 1.1);
+        // header and row align on column count
+        assert!(!MethodReport::header().is_empty());
+        assert!(!report.row().is_empty());
+    }
+
+    #[test]
+    fn sampled_evaluation_uses_stride() {
+        let layout = generators::regular_grid(128.0, 8, 2.0);
+        let s = solver::synthetic(&layout);
+        let out =
+            Method::Threshold.build().sparsify(&s, &layout, &SparsifyOptions::default()).unwrap();
+        let opts = EvalOptions { max_dense_n: 16, sample_cols: 8, ..Default::default() };
+        let report = evaluate("threshold", &out, &s, &opts);
+        assert_eq!(report.graded_cols, 8);
+    }
+}

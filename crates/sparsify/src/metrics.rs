@@ -134,12 +134,7 @@ pub fn frac_above_floored(
 /// excluded from the count. Useful when the reference columns are a
 /// sample (where the diagonal position is not `(i, i)`) and the caller
 /// computes the floor itself.
-pub fn frac_above_with_floor(
-    reference: &Mat,
-    approx: &Mat,
-    threshold: f64,
-    floor_abs: f64,
-) -> f64 {
+pub fn frac_above_with_floor(reference: &Mat, approx: &Mat, threshold: f64, floor_abs: f64) -> f64 {
     assert_eq!(reference.n_rows(), approx.n_rows(), "shape mismatch");
     assert_eq!(reference.n_cols(), approx.n_cols(), "shape mismatch");
     let mut above = 0usize;
@@ -177,21 +172,24 @@ pub fn rel_fro_error(reference: &Mat, approx: &Mat) -> f64 {
 /// Both thesis methods beat this by a wide margin at equal sparsity, which
 /// is the point of changing basis first.
 pub fn threshold_dense(g: &Mat, target_nnz: usize) -> Mat {
+    if target_nnz == 0 {
+        return Mat::zeros(g.n_rows(), g.n_cols());
+    }
+    if target_nnz >= g.data().len() {
+        return g.clone();
+    }
     let mut abs: Vec<f64> = g.data().iter().map(|v| v.abs()).collect();
     abs.sort_by(|a, b| b.partial_cmp(a).unwrap());
-    let cut = if target_nnz == 0 || target_nnz > abs.len() {
-        0.0
-    } else {
-        abs[target_nnz - 1]
-    };
+    // keep every entry with |v| >= cut: a tie group straddling the budget
+    // boundary is kept whole (slightly exceeding target_nnz) rather than
+    // split by storage order — splitting ties breaks the symmetry of a
+    // symmetric G, i.e. produces a non-reciprocal conductance model
+    let cut = abs[target_nnz - 1];
     let mut out = g.clone();
-    let mut kept = 0usize;
     for j in 0..out.n_cols() {
         for v in out.col_mut(j) {
-            if v.abs() < cut || (v.abs() == cut && kept >= target_nnz) {
+            if v.abs() < cut {
                 *v = 0.0;
-            } else {
-                kept += 1;
             }
         }
     }

@@ -1,0 +1,189 @@
+//! The string-keyed method registry.
+//!
+//! CLIs, benches, and examples drive methods by name: parse a [`Method`]
+//! with [`str::parse`], instantiate it with [`Method::build`], or iterate
+//! every registered method with [`all_methods`]. Adding a method is a
+//! three-line change here (variant, name, constructor) plus a
+//! [`Sparsifier`] impl in [`methods`](crate::methods).
+
+use std::fmt;
+use std::str::FromStr;
+
+use crate::methods::{
+    HybridSvdThresholdSparsifier, LowRankSparsifier, SvdSparsifier, ThresholdSparsifier,
+    TopKSparsifier, WaveletSparsifier,
+};
+use crate::Sparsifier;
+
+/// Every registered sparsification method.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Method {
+    /// Geometric wavelet basis (thesis Ch. 3), `O(log n)` solves.
+    Wavelet,
+    /// Operator-adaptive low-rank basis (thesis Ch. 4), `O(log n)` solves.
+    LowRank,
+    /// Global magnitude threshold of the dense `G`, `n` solves.
+    Threshold,
+    /// Per-row top-`k` threshold of the dense `G`, `n` solves.
+    TopK,
+    /// Truncated-SVD compression of the dense `G`, `n` solves.
+    Svd,
+    /// Truncated SVD plus thresholded remainder, `n` solves.
+    HybridSvdThreshold,
+}
+
+const ALL: [Method; 6] = [
+    Method::Wavelet,
+    Method::LowRank,
+    Method::Threshold,
+    Method::TopK,
+    Method::Svd,
+    Method::HybridSvdThreshold,
+];
+
+/// All registered methods, in registry order.
+pub fn all_methods() -> &'static [Method] {
+    &ALL
+}
+
+impl Method {
+    /// The canonical registry name — the string [`FromStr`] parses and the
+    /// matching [`Sparsifier::name`] reports.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Method::Wavelet => "wavelet",
+            Method::LowRank => "lowrank",
+            Method::Threshold => "threshold",
+            Method::TopK => "topk",
+            Method::Svd => "svd",
+            Method::HybridSvdThreshold => "hybrid",
+        }
+    }
+
+    /// Instantiates the method.
+    pub fn build(&self) -> Box<dyn Sparsifier> {
+        match self {
+            Method::Wavelet => Box::new(WaveletSparsifier),
+            Method::LowRank => Box::new(LowRankSparsifier),
+            Method::Threshold => Box::new(ThresholdSparsifier),
+            Method::TopK => Box::new(TopKSparsifier),
+            Method::Svd => Box::new(SvdSparsifier),
+            Method::HybridSvdThreshold => Box::new(HybridSvdThresholdSparsifier),
+        }
+    }
+
+    /// One-line guidance on when to pick the method.
+    pub fn summary(&self) -> &'static str {
+        match self {
+            Method::Wavelet => {
+                "O(log n) solves; geometry-only basis, best on uniform contact sizes"
+            }
+            Method::LowRank => {
+                "O(log n) solves; operator-adaptive basis, robust on mixed sizes/shapes"
+            }
+            Method::Threshold => "n solves; naive global entry dropping (the paper's baseline)",
+            Method::TopK => "n solves; per-row dropping, keeps every contact's top couplings",
+            Method::Svd => "n solves; optimal low-rank model, poor on diagonally dominant G",
+            Method::HybridSvdThreshold => {
+                "n solves; low-rank + sparse remainder, for heavy smooth far-field coupling"
+            }
+        }
+    }
+
+    /// The documented relative-Frobenius reconstruction tolerance on the
+    /// reference benchmark (16x16 `regular_grid`, synthetic solver,
+    /// default options). Round-trip tests assert each method stays within
+    /// its tolerance; measured values sit well below these bounds.
+    pub fn doc_tolerance(&self) -> f64 {
+        match self {
+            // hierarchical methods: combine-solves introduce small
+            // cross-talk; measured ~1e-2 on the reference benchmark
+            Method::Wavelet => 0.05,
+            Method::LowRank => 0.05,
+            // dense baselines at target_sparsity 4: measured <1e-2 for
+            // threshold/topk/hybrid on the fast-decaying synthetic kernel
+            Method::Threshold => 0.05,
+            Method::TopK => 0.05,
+            // pure SVD pays the diagonally-dominant floor (see
+            // `SvdSparsifier` docs; measured ~0.83): it is a bound, not a
+            // recommendation
+            Method::Svd => 1.0,
+            // the sparse remainder removes most of the SVD floor but the
+            // rank budget spent on the flat spectrum still costs accuracy
+            // relative to plain thresholding (measured ~0.09)
+            Method::HybridSvdThreshold => 0.20,
+        }
+    }
+}
+
+impl fmt::Display for Method {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Error from parsing an unknown method name.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ParseMethodError {
+    given: String,
+}
+
+impl fmt::Display for ParseMethodError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "unknown sparsification method {:?}; valid methods:", self.given)?;
+        for m in all_methods() {
+            write!(f, " {}", m.name())?;
+        }
+        Ok(())
+    }
+}
+
+impl std::error::Error for ParseMethodError {}
+
+impl FromStr for Method {
+    type Err = ParseMethodError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s.to_ascii_lowercase().as_str() {
+            "wavelet" => Ok(Method::Wavelet),
+            "lowrank" | "low-rank" | "low_rank" => Ok(Method::LowRank),
+            "threshold" => Ok(Method::Threshold),
+            "topk" | "top-k" | "top_k" => Ok(Method::TopK),
+            "svd" => Ok(Method::Svd),
+            "hybrid" | "hybrid-svd-threshold" | "hybrid_svd_threshold" => {
+                Ok(Method::HybridSvdThreshold)
+            }
+            _ => Err(ParseMethodError { given: s.to_string() }),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn names_round_trip_through_from_str() {
+        for m in all_methods() {
+            assert_eq!(m.name().parse::<Method>().unwrap(), *m);
+            // the instantiated sparsifier agrees with the registry name
+            assert_eq!(m.build().name(), m.name());
+        }
+    }
+
+    #[test]
+    fn aliases_and_case() {
+        assert_eq!("Low-Rank".parse::<Method>().unwrap(), Method::LowRank);
+        assert_eq!("top_k".parse::<Method>().unwrap(), Method::TopK);
+        assert_eq!("hybrid-svd-threshold".parse::<Method>().unwrap(), Method::HybridSvdThreshold);
+    }
+
+    #[test]
+    fn unknown_name_lists_valid_methods() {
+        let err = "fourier".parse::<Method>().unwrap_err();
+        let msg = err.to_string();
+        for m in all_methods() {
+            assert!(msg.contains(m.name()), "{msg}");
+        }
+    }
+}

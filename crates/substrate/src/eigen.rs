@@ -152,7 +152,8 @@ impl EigenSolver {
                 let gy = n as f64 * std::f64::consts::PI / a;
                 let lambda = mode_eigenvalue(substrate, gx.hypot(gy));
                 let nmn = a * a * eta(m) * eta(n);
-                mu[n * p + m] = lambda * w[m] * w[m] * w[n] * w[n] / (nmn * panel_area * panel_area);
+                mu[n * p + m] =
+                    lambda * w[m] * w[m] * w[n] * w[n] / (nmn * panel_area * panel_area);
             }
         }
         let dct = Dct::new(p);
@@ -225,9 +226,8 @@ impl EigenSolver {
         let mut u = vec![0.0; p * p];
         for m in 0..p {
             for q in 0..p {
-                let c = (std::f64::consts::PI * m as f64 * (2 * q + 1) as f64
-                    / (2.0 * p as f64))
-                    .cos();
+                let c =
+                    (std::f64::consts::PI * m as f64 * (2 * q + 1) as f64 / (2.0 * p as f64)).cos();
                 u[m * p + q] = c * c;
             }
         }
@@ -432,9 +432,8 @@ mod tests {
     #[test]
     fn rejects_unresolved_contact() {
         let mut layout = subsparse_layout::Layout::new(128.0, 128.0);
-        layout.push(subsparse_layout::Contact::rect(subsparse_layout::Rect::new(
-            0.0, 0.0, 0.1, 0.1,
-        )));
+        layout
+            .push(subsparse_layout::Contact::rect(subsparse_layout::Rect::new(0.0, 0.0, 0.1, 0.1)));
         let err = EigenSolver::new(
             &Substrate::thesis_standard(),
             &layout,
@@ -450,8 +449,8 @@ mod tests {
         let sub = Substrate::thesis_standard();
         let cfg = EigenSolverConfig { panels: 32, tol: 1e-11, ..Default::default() };
         let s1 = EigenSolver::new(&sub, &layout, cfg).unwrap();
-        let s2 = EigenSolver::new(&sub, &layout, EigenSolverConfig { jacobi: false, ..cfg })
-            .unwrap();
+        let s2 =
+            EigenSolver::new(&sub, &layout, EigenSolverConfig { jacobi: false, ..cfg }).unwrap();
         let mut v = vec![0.0; 16];
         v[0] = 1.0;
         v[7] = -0.5;

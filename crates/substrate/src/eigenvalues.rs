@@ -37,9 +37,7 @@ pub fn mode_eigenvalue(substrate: &Substrate, gamma: f64) -> f64 {
     let layers = substrate.layers();
     if gamma == 0.0 {
         return match substrate.backplane() {
-            Backplane::Grounded => {
-                layers.iter().map(|l| l.thickness / l.conductivity).sum::<f64>()
-            }
+            Backplane::Grounded => layers.iter().map(|l| l.thickness / l.conductivity).sum::<f64>(),
             Backplane::Floating => f64::INFINITY,
         };
     }
@@ -183,10 +181,8 @@ mod tests {
 
     #[test]
     fn floating_layered_matches_1d_reference() {
-        let s = Substrate::new(
-            vec![Layer::new(2.0, 1.0), Layer::new(38.0, 50.0)],
-            Backplane::Floating,
-        );
+        let s =
+            Substrate::new(vec![Layer::new(2.0, 1.0), Layer::new(38.0, 50.0)], Backplane::Floating);
         for &gamma in &[0.1, 0.7] {
             let lam = mode_eigenvalue(&s, gamma);
             let reference = reference_lambda(&s, gamma, 40000);

@@ -560,6 +560,7 @@ impl LinOp for GridOp<'_> {
 }
 
 /// Diagonal incomplete-Cholesky data: the modified diagonal `dhat`.
+#[allow(clippy::too_many_arguments)] // mirrors the 3-D grid's axis data
 fn build_dic(
     nx: usize,
     ny: usize,
@@ -719,7 +720,8 @@ impl FastPoisson {
         top_extra: f64,
         bot_extra: f64,
     ) -> Self {
-        let mu = |k: usize, n: usize| 2.0 - 2.0 * (std::f64::consts::PI * k as f64 / n as f64).cos();
+        let mu =
+            |k: usize, n: usize| 2.0 - 2.0 * (std::f64::consts::PI * k as f64 / n as f64).cos();
         let gxp = gxp.to_vec();
         let gyp = gyp.to_vec();
         let sx: Vec<f64> = (0..nx)
@@ -945,8 +947,8 @@ mod tests {
         let layout = two_contact_layout();
         let sub = Substrate::thesis_standard();
         let none = FdSolver::new(&sub, &layout, config(FdPrecond::None)).unwrap();
-        let fast = FdSolver::new(&sub, &layout, config(FdPrecond::FastPoisson(TopBc::Neumann)))
-            .unwrap();
+        let fast =
+            FdSolver::new(&sub, &layout, config(FdPrecond::FastPoisson(TopBc::Neumann))).unwrap();
         let v = [1.0, 0.0, 0.0, 0.0];
         let _ = none.solve(&v);
         let _ = fast.solve(&v);
@@ -964,8 +966,7 @@ mod tests {
         let layout = two_contact_layout();
         let sub = Substrate::thesis_standard();
         let none = FdSolver::new(&sub, &layout, config(FdPrecond::None)).unwrap();
-        let mg =
-            FdSolver::new(&sub, &layout, config(FdPrecond::Multigrid { smooth: 2 })).unwrap();
+        let mg = FdSolver::new(&sub, &layout, config(FdPrecond::Multigrid { smooth: 2 })).unwrap();
         let v = [1.0, 0.0, 0.0, 0.0];
         let _ = none.solve(&v);
         let _ = mg.solve(&v);

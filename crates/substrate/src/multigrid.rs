@@ -428,10 +428,7 @@ mod tests {
         }
         let first = residual_norms[0];
         let last = *residual_norms.last().expect("nonempty");
-        assert!(
-            last < 1e-3 * first,
-            "V-cycle iteration stalls: residuals {residual_norms:?}"
-        );
+        assert!(last < 1e-3 * first, "V-cycle iteration stalls: residuals {residual_norms:?}");
     }
 
     #[test]

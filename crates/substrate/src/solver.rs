@@ -173,8 +173,7 @@ pub fn extract_dense<S: SubstrateSolver + ?Sized>(solver: &S) -> Mat {
 /// solvers for real extractions.
 pub fn synthetic(layout: &subsparse_layout::Layout) -> DenseSolver {
     let n = layout.n_contacts();
-    let centroids: Vec<(f64, f64)> =
-        layout.contacts().iter().map(|c| c.centroid()).collect();
+    let centroids: Vec<(f64, f64)> = layout.contacts().iter().map(|c| c.centroid()).collect();
     let areas: Vec<f64> = layout.contacts().iter().map(|c| c.area()).collect();
     let (a, _) = layout.extent();
     let c0 = (a / 64.0).powi(3).max(1e-9);

@@ -254,8 +254,7 @@ fn build_child_block(
     let index_of = |ci: u32| -> usize {
         pcs.binary_search(&ci).expect("child contact must be in the parent square")
     };
-    let total_v: usize =
-        parent.children().iter().map(|c| child_bases[c.flat()].v.n_cols()).sum();
+    let total_v: usize = parent.children().iter().map(|c| child_bases[c.flat()].v.n_cols()).sum();
     let mut x = Mat::zeros(pcs.len(), total_v);
     let mut col = 0;
     for c in parent.children() {
@@ -328,7 +327,7 @@ mod tests {
                 let center = tree.center(s);
                 for j in 0..sb.w.n_cols() {
                     // moments of the voltage function sum_i w_i chi_i
-                    let mut m = vec![0.0; 6];
+                    let mut m = [0.0; 6];
                     for (r, &ci) in cs.iter().enumerate() {
                         let cm = contact_moments(&layout.contacts()[ci as usize], center, 2);
                         for (k, v) in cm.iter().enumerate() {

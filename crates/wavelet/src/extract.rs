@@ -308,10 +308,7 @@ mod tests {
         let d = rep.gw.to_dense();
         for i in 0..d.n_rows() {
             for j in (i + 1)..d.n_cols() {
-                assert!(
-                    (d[(i, j)] - d[(j, i)]).abs() < 1e-12,
-                    "Gw not symmetric at ({i},{j})"
-                );
+                assert!((d[(i, j)] - d[(j, i)]).abs() < 1e-12, "Gw not symmetric at ({i},{j})");
             }
         }
     }
@@ -338,10 +335,6 @@ mod tests {
         );
         // at n = 1024 the reduction factor must match the thesis's ~2.9
         let (n, s) = counts[2];
-        assert!(
-            (n as f64 / s as f64) > 2.0,
-            "solve reduction {} at n = {n}",
-            n as f64 / s as f64
-        );
+        assert!((n as f64 / s as f64) > 2.0, "solve reduction {} at n = {n}", n as f64 / s as f64);
     }
 }

@@ -19,12 +19,12 @@
 //! cargo run --release --example circuit_transient
 //! ```
 
+use subsparse::extract_lowrank;
 use subsparse::hier::BasisRep;
 use subsparse::layout::generators;
 use subsparse::linalg::cg::{cg, LinOp};
 use subsparse::lowrank::LowRankOptions;
 use subsparse::substrate::{EigenSolver, EigenSolverConfig, Substrate};
-use subsparse::extract_lowrank;
 
 /// The backward-Euler system matrix `(C/dt + 1/R) I + G` as an operator.
 struct TransientOp<'a> {

@@ -54,8 +54,7 @@ impl SubstrateSolver for MeasuredModel {
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let layout = generators::regular_grid(128.0, 16, 2.0);
-    let centroids: Vec<(f64, f64)> =
-        layout.contacts().iter().map(|c| c.centroid()).collect();
+    let centroids: Vec<(f64, f64)> = layout.contacts().iter().map(|c| c.centroid()).collect();
     let areas: Vec<f64> = layout.contacts().iter().map(|c| c.area()).collect();
     let model = MeasuredModel::from_table(&centroids, &areas);
     let counting = CountingSolver::new(&model);
