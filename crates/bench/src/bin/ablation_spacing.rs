@@ -28,7 +28,7 @@ fn main() {
     let basis = build_basis(&layout, 2, 2).expect("basis");
     for spacing in [0usize, 3, 4, 6] {
         let counting = CountingSolver::new(&solver);
-        let rep = extract(&counting, &basis, &ExtractOptions { spacing });
+        let rep = extract(&counting, &basis, &ExtractOptions { spacing, ..Default::default() });
         let stats = error_stats(&g, &rep.to_dense());
         println!(
             "{:>8} {:>8} {:>11.3}% {:>9.2}%",

@@ -1,0 +1,43 @@
+//! `batch_compare` — serial vs batched multi-RHS extraction on the FD and
+//! eigenfunction solvers.
+//!
+//! ```text
+//! cargo run --release -p subsparse-bench --bin batch_compare -- [--quick] [--threads N] [--json]
+//! ```
+//!
+//! `--threads N` sets the batched run's worker count (default 4, 0 = one
+//! per CPU); `--json` additionally writes `BENCH_batch_compare.json`.
+//! Exits nonzero if the batched extraction does not bit-agree with the
+//! serial one, so CI can use it as a smoke test.
+
+use std::process::ExitCode;
+
+use subsparse_bench::batch::{format_rows, rows_json, run_batch_compare};
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let json = args.iter().any(|a| a == "--json");
+    let threads = args
+        .iter()
+        .position(|a| a == "--threads")
+        .and_then(|i| args.get(i + 1))
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(4);
+
+    let rows = run_batch_compare(quick, threads);
+    print!("{}", format_rows(&rows));
+    if json {
+        let path = "BENCH_batch_compare.json";
+        if let Err(e) = std::fs::write(path, rows_json(&rows)) {
+            eprintln!("error: cannot write {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+        println!("wrote {path}");
+    }
+    if rows.iter().any(|r| !r.bit_equal) {
+        eprintln!("error: batched extraction diverged from serial");
+        return ExitCode::FAILURE;
+    }
+    ExitCode::SUCCESS
+}

@@ -1,8 +1,19 @@
 //! `method_matrix` — every registered sparsification method over every
 //! evaluation layout, graded by the shared harness (pass `--quick` for a
-//! smaller run).
+//! smaller run; pass `--json` to also write the machine-readable
+//! `BENCH_method_matrix.json` from the same run, so the table and the
+//! JSON always agree).
+
+use subsparse_bench::method_matrix::{format_matrix, matrix_json, run_matrix_cells};
 
 fn main() {
     let quick = subsparse_bench::quick_from_args();
-    print!("{}", subsparse_bench::run_method_matrix(quick));
+    let cells = run_matrix_cells(quick);
+    print!("{}", format_matrix(&cells));
+    if std::env::args().any(|a| a == "--json") {
+        let path = "BENCH_method_matrix.json";
+        std::fs::write(path, matrix_json(&cells))
+            .unwrap_or_else(|e| panic!("cannot write {path}: {e}"));
+        println!("\nwrote {path}");
+    }
 }

@@ -31,25 +31,80 @@ pub fn matrix_layouts(quick: bool) -> Vec<(&'static str, Layout)> {
     v
 }
 
+/// One graded cell of the matrix: the layout name, its contact count,
+/// and the method's report (or the failure message).
+pub struct MatrixCell {
+    /// Evaluation-layout name.
+    pub layout: &'static str,
+    /// Contact count of the layout.
+    pub n: usize,
+    /// The graded report, or why the method failed on this layout.
+    pub report: Result<MethodReport, String>,
+}
+
 /// Runs every registered method over every matrix layout against the
 /// synthetic zero-cost kernel (isolating method behavior from solver
-/// noise) and returns the formatted table.
-pub fn run_method_matrix(quick: bool) -> String {
-    let mut out = String::new();
-    writeln!(out, "method matrix: every registered method x every evaluation layout").unwrap();
+/// noise), once. The table and JSON renderers below share this output so
+/// their numbers always agree.
+pub fn run_matrix_cells(quick: bool) -> Vec<MatrixCell> {
     let opts = SparsifyOptions::default();
     let eval_opts = EvalOptions { apply_iters: 4, ..Default::default() };
+    let mut cells = Vec::new();
     for (name, layout) in matrix_layouts(quick) {
-        writeln!(out, "\n--- layout {name}: {} contacts", layout.n_contacts()).unwrap();
-        writeln!(out, "{}", MethodReport::header()).unwrap();
         for method in all_methods() {
-            match run_cell(*method, &layout, &opts, &eval_opts) {
-                Ok(report) => writeln!(out, "{}", report.row()).unwrap(),
-                Err(e) => writeln!(out, "{:<10} failed: {e}", method.name()).unwrap(),
-            }
+            cells.push(MatrixCell {
+                layout: name,
+                n: layout.n_contacts(),
+                report: run_cell(*method, &layout, &opts, &eval_opts)
+                    .map_err(|e| format!("{:<10} failed: {e}", method.name())),
+            });
+        }
+    }
+    cells
+}
+
+/// Formats graded cells as the human-readable table.
+pub fn format_matrix(cells: &[MatrixCell]) -> String {
+    let mut out = String::new();
+    writeln!(out, "method matrix: every registered method x every evaluation layout").unwrap();
+    let mut current = "";
+    for cell in cells {
+        if cell.layout != current {
+            current = cell.layout;
+            writeln!(out, "\n--- layout {current}: {} contacts", cell.n).unwrap();
+            writeln!(out, "{}", MethodReport::header()).unwrap();
+        }
+        match &cell.report {
+            Ok(report) => writeln!(out, "{}", report.row()).unwrap(),
+            Err(msg) => writeln!(out, "{msg}").unwrap(),
         }
     }
     out
+}
+
+/// Serializes graded cells as a machine-readable JSON array — one object
+/// per successful (layout, method) cell with the cost/quality numbers CI
+/// and dashboards track: method, n, solves, build wall-ns, apply
+/// wall-ns, nonzero ratio, and the relative Frobenius error.
+pub fn matrix_json(cells: &[MatrixCell]) -> String {
+    let body: Vec<String> = cells
+        .iter()
+        .filter_map(|cell| cell.report.as_ref().ok().map(|r| (cell.layout, r)))
+        .map(|(layout, r)| {
+            format!(
+                "  {{\"layout\":\"{layout}\",\"method\":\"{}\",\"n\":{},\"solves\":{},\"wall_ns\":{:.0},\"apply_ns\":{:.0},\"nnz_ratio\":{:.6},\"rel_fro_error\":{:.6e}}}",
+                r.method, r.n, r.solves, r.build_ms * 1e6, r.apply_ns, r.nnz_ratio, r.rel_fro_error,
+            )
+        })
+        .collect();
+    format!("[\n{}\n]\n", body.join(",\n"))
+}
+
+/// Runs the matrix and returns the formatted table (one pass; see
+/// [`run_matrix_cells`] to also get the machine-readable form without
+/// rerunning).
+pub fn run_method_matrix(quick: bool) -> String {
+    format_matrix(&run_matrix_cells(quick))
 }
 
 /// One cell of the matrix: run `method` on `layout` and grade it.

@@ -25,7 +25,7 @@ use subsparse::substrate::{
     solver, Backplane, CountingSolver, EigenSolver, EigenSolverConfig, FdSolver, FdSolverConfig,
     Layer, Substrate, SubstrateSolver,
 };
-use subsparse::{extract_lowrank, extract_wavelet, BasisRep, Layout, SparsifyOptions};
+use subsparse::{extract_lowrank, BasisRep, Layout, SparsifyOptions};
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -61,6 +61,9 @@ EXTRACT OPTIONS:
   --backplane B       grounded (default) | floating (FD solver only)
   --solver S          eigen (default) | fd
   --panels P          eigen panels / FD grid per side (default 128)
+  --threads T         solver worker threads for batched solves
+                      (default 1; 0 = one per CPU)
+  --batch B           max RHS columns per batched solve (default 32)
   --threshold F       extra sparsification factor (e.g. 6); default off
 
 SPARSIFY OPTIONS (run registered methods side by side, shared metrics):
@@ -74,6 +77,9 @@ SPARSIFY OPTIONS (run registered methods side by side, shared metrics):
   --target F          nonzero budget n^2/F for the dense baselines
                       (default 4)
   --panels P          eigen/fd resolution (default 128)
+  --threads T         solver worker threads for batched solves
+                      (default 1; 0 = one per CPU)
+  --batch B           max RHS columns per batched solve (default 32)
   --out STEM          save the (single) method's model as STEM.{q,gw}.mtx
 ";
 
@@ -152,6 +158,8 @@ fn cmd_extract(args: &[String]) -> Result<(), String> {
     let method = opts.get("method").unwrap_or("lowrank");
     let solver_kind = opts.get("solver").unwrap_or("eigen");
     let panels: usize = opts.get_parsed("panels", 128)?;
+    let threads: usize = opts.get_parsed("threads", 1)?;
+    let max_batch: usize = opts.get_parsed("batch", 32)?;
     let backplane = match opts.get("backplane").unwrap_or("grounded") {
         "grounded" => Backplane::Grounded,
         "floating" => Backplane::Floating,
@@ -178,7 +186,7 @@ fn cmd_extract(args: &[String]) -> Result<(), String> {
             EigenSolver::new(
                 &substrate,
                 layout,
-                EigenSolverConfig { panels, ..Default::default() },
+                EigenSolverConfig { panels, threads, ..Default::default() },
             )
             .map_err(|e| format!("eigen solver: {e}"))?,
         ),
@@ -186,7 +194,7 @@ fn cmd_extract(args: &[String]) -> Result<(), String> {
             FdSolver::new(
                 &substrate,
                 layout,
-                FdSolverConfig { nx: panels, ny: panels, ..Default::default() },
+                FdSolverConfig { nx: panels, ny: panels, threads, ..Default::default() },
             )
             .map_err(|e| format!("fd solver: {e}"))?,
         ),
@@ -196,12 +204,16 @@ fn cmd_extract(args: &[String]) -> Result<(), String> {
 
     let rep = match method {
         "lowrank" => {
-            let (x, _) = extract_lowrank(&counting, layout, levels, &LowRankOptions::default())
+            let lr_opts = LowRankOptions { max_batch, ..Default::default() };
+            let (x, _) = extract_lowrank(&counting, layout, levels, &lr_opts)
                 .map_err(|e| format!("extraction: {e}"))?;
             x.rep
         }
         "wavelet" => {
-            let x = extract_wavelet(&counting, layout, levels, 2)
+            let mut sopts = SparsifyOptions { levels: Some(levels), ..Default::default() };
+            sopts.batch.max_batch = max_batch;
+            sopts.batch.threads = threads;
+            let x = subsparse::Extraction::with_method(Method::Wavelet, &counting, layout, &sopts)
                 .map_err(|e| format!("extraction: {e}"))?;
             x.rep
         }
@@ -240,6 +252,7 @@ fn cmd_sparsify(args: &[String]) -> Result<(), String> {
     let extent: f64 = opts.get_parsed("extent", 128.0)?;
     let grid: usize = opts.get_parsed("grid", 16)?;
     let panels: usize = opts.get_parsed("panels", 128)?;
+    let threads: usize = opts.get_parsed("threads", 1)?;
     let solver_kind = opts.get("solver").unwrap_or("synthetic");
 
     // layout: from a file, or the default regular grid
@@ -261,6 +274,8 @@ fn cmd_sparsify(args: &[String]) -> Result<(), String> {
         sopts.levels = Some(l.parse().map_err(|_| format!("bad value for --levels: {l:?}"))?);
     }
     sopts.target_sparsity = opts.get_parsed("target", sopts.target_sparsity)?;
+    sopts.batch.max_batch = opts.get_parsed("batch", sopts.batch.max_batch)?;
+    sopts.batch.threads = threads;
 
     let black_box: Box<dyn SubstrateSolver> = match solver_kind {
         "synthetic" => Box::new(solver::synthetic(&layout)),
@@ -268,7 +283,7 @@ fn cmd_sparsify(args: &[String]) -> Result<(), String> {
             EigenSolver::new(
                 &Substrate::thesis_standard(),
                 &layout,
-                EigenSolverConfig { panels, ..Default::default() },
+                EigenSolverConfig { panels, threads, ..Default::default() },
             )
             .map_err(|e| format!("eigen solver: {e}"))?,
         ),
@@ -276,7 +291,7 @@ fn cmd_sparsify(args: &[String]) -> Result<(), String> {
             FdSolver::new(
                 &Substrate::thesis_standard(),
                 &layout,
-                FdSolverConfig { nx: panels, ny: panels, ..Default::default() },
+                FdSolverConfig { nx: panels, ny: panels, threads, ..Default::default() },
             )
             .map_err(|e| format!("fd solver: {e}"))?,
         ),

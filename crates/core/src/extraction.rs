@@ -44,13 +44,14 @@ impl Extraction {
     /// assert_eq!(x.n(), 64);
     /// # Ok::<(), subsparse::SparsifyError>(())
     /// ```
-    pub fn with_method(
+    pub fn with_method<S: SubstrateSolver + ?Sized>(
         method: Method,
-        solver: &dyn SubstrateSolver,
+        solver: &S,
         layout: &Layout,
         opts: &SparsifyOptions,
     ) -> Result<Extraction, SparsifyError> {
-        let outcome = method.build().sparsify(solver, layout, opts)?;
+        // the &dyn adapter lives here, once, instead of at every call site
+        let outcome = method.build().sparsify(&solver as &dyn SubstrateSolver, layout, opts)?;
         Ok(Extraction::from(outcome))
     }
 
@@ -101,7 +102,7 @@ pub fn extract_wavelet<S: SubstrateSolver + ?Sized>(
     p: usize,
 ) -> Result<Extraction, HierError> {
     let opts = SparsifyOptions { levels: Some(levels), moment_order: p, ..Default::default() };
-    match Extraction::with_method(Method::Wavelet, &solver, layout, &opts) {
+    match Extraction::with_method(Method::Wavelet, solver, layout, &opts) {
         Ok(x) => Ok(x),
         Err(SparsifyError::Hier(e)) => Err(e),
         // the wavelet adapter only produces layout/hierarchy errors

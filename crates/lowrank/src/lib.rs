@@ -67,11 +67,24 @@ pub struct LowRankOptions {
     pub samples_per_square: usize,
     /// Seed for the deterministic sample-vector generator.
     pub seed: u64,
+    /// Maximum right-hand sides assembled into one
+    /// [`SubstrateSolver::solve_batch`] call. Batching changes neither the
+    /// solve count nor the results — the independent probe solves of each
+    /// construction stage are simply issued as blocks so the solver can
+    /// amortize setup and use its worker threads.
+    pub max_batch: usize,
 }
 
 impl Default for LowRankOptions {
     fn default() -> Self {
-        LowRankOptions { rank_tol: 1e-2, max_rank: 6, spacing: 3, samples_per_square: 1, seed: 1 }
+        LowRankOptions {
+            rank_tol: 1e-2,
+            max_rank: 6,
+            spacing: 3,
+            samples_per_square: 1,
+            seed: 1,
+            max_batch: 32,
+        }
     }
 }
 

@@ -23,7 +23,7 @@ use subsparse_layout::Layout;
 use subsparse_linalg::qr::orthonormal_completion;
 use subsparse_linalg::svd::svd;
 use subsparse_linalg::Mat;
-use subsparse_substrate::SubstrateSolver;
+use subsparse_substrate::{solver as subsolver, SubstrateSolver};
 
 use crate::LowRankOptions;
 
@@ -265,8 +265,11 @@ pub fn build_row_basis<S: SubstrateSolver + ?Sized>(
     // ================= coarsest level (2): direct solves =================
     {
         let lev = 2;
-        // one random sample vector per nonempty square, solved directly
+        // one random sample vector per nonempty square, all solved as one
+        // RHS block (drawing order is unchanged, so seeds reproduce)
         let mut sample_resp: Vec<Option<Vec<f64>>> = vec![None; 16];
+        let mut rhs: Vec<Vec<f64>> = Vec::new();
+        let mut rhs_owner: Vec<usize> = Vec::new();
         for s in tree.squares(lev) {
             let cs = tree.contacts_in_square(s);
             if cs.is_empty() {
@@ -276,13 +279,17 @@ pub fn build_row_basis<S: SubstrateSolver + ?Sized>(
                 let m = random_unit(&mut rng, cs.len());
                 let mut padded = vec![0.0; n];
                 scatter(&m, cs, &mut padded);
-                let y = solver.solve(&padded);
-                match &mut sample_resp[s.flat()] {
-                    // multiple samples per square: stack responses (treated
-                    // as extra sample columns below)
-                    Some(prev) => prev.extend_from_slice(&y),
-                    None => sample_resp[s.flat()] = Some(y),
-                }
+                rhs.push(padded);
+                rhs_owner.push(s.flat());
+            }
+        }
+        let responses = subsolver::solve_each_batched(solver, &rhs, options.max_batch);
+        for (&flat, y) in rhs_owner.iter().zip(responses) {
+            match &mut sample_resp[flat] {
+                // multiple samples per square: stack responses (treated
+                // as extra sample columns below)
+                Some(prev) => prev.extend_from_slice(&y),
+                None => sample_resp[flat] = Some(y),
             }
         }
         // row bases from the sampled interactions
@@ -302,7 +309,23 @@ pub fn build_row_basis<S: SubstrateSolver + ?Sized>(
             let v = row_basis_from_samples(&cols, cs.len(), options);
             squares[lev][s.flat()].v = v;
         }
-        // responses to the row bases: direct solves
+        // responses to the row bases: direct solves, batched across every
+        // (square, basis-column) pair
+        let mut rhs: Vec<Vec<f64>> = Vec::new();
+        for s in tree.squares(lev) {
+            let cs = tree.contacts_in_square(s);
+            if cs.is_empty() {
+                continue;
+            }
+            let v = &squares[lev][s.flat()].v;
+            for j in 0..v.n_cols() {
+                let mut padded = vec![0.0; n];
+                scatter(v.col(j), cs, &mut padded);
+                rhs.push(padded);
+            }
+        }
+        let mut responses =
+            subsolver::solve_each_batched(solver, &rhs, options.max_batch).into_iter();
         for s in tree.squares(lev) {
             let cs = tree.contacts_in_square(s);
             if cs.is_empty() {
@@ -312,11 +335,7 @@ pub fn build_row_basis<S: SubstrateSolver + ?Sized>(
             let r = squares[lev][s.flat()].v.n_cols();
             let mut resp_v = Mat::zeros(p_contacts.len(), r);
             for j in 0..r {
-                let mut padded = vec![0.0; n];
-                // borrow v column by copy to appease the borrow checker
-                let col: Vec<f64> = squares[lev][s.flat()].v.col(j).to_vec();
-                scatter(&col, cs, &mut padded);
-                let y = solver.solve(&padded);
+                let y = responses.next().expect("one response per basis column");
                 resp_v.col_mut(j).copy_from_slice(&restrict(&y, &p_contacts));
             }
             let sd = &mut squares[lev][s.flat()];
@@ -471,16 +490,18 @@ fn split_responses<S: SubstrateSolver + ?Sized>(
     let mut out: Vec<Option<Vec<f64>>> = vec![None; side * side];
 
     if spacing == 0 {
-        // reference mode: direct exact solves, no splitting
-        for s in tree.squares(lev) {
-            let Some(x) = vectors[s.flat()] else { continue };
-            let cs = tree.contacts_in_square(s);
+        // reference mode: direct exact solves, no splitting — streamed
+        // through `solve_batch` in RHS blocks
+        let items = tree.squares(lev).filter_map(|s| {
+            let x = vectors[s.flat()]?;
             let mut padded = vec![0.0; n];
-            scatter(x, cs, &mut padded);
-            let y = solver.solve(&padded);
+            scatter(x, tree.contacts_in_square(s), &mut padded);
+            Some((s, padded))
+        });
+        subsolver::for_each_batched(solver, options.max_batch, items, |s, y| {
             let p_contacts = tree.region_contacts(&tree.local_and_interactive(s));
-            out[s.flat()] = Some(restrict(&y, &p_contacts));
-        }
+            out[s.flat()] = Some(restrict(y, &p_contacts));
+        });
         return out;
     }
 
@@ -514,7 +535,11 @@ fn split_responses<S: SubstrateSolver + ?Sized>(
 
     // Group the orthogonal remainders by (parent phase, child position):
     // members' parents are >= `spacing` squares apart, so their responses
-    // do not contaminate each other's local neighborhoods.
+    // do not contaminate each other's local neighborhoods. The combined
+    // vectors are independent, so they stream through `solve_batch` in
+    // RHS blocks (group descriptors first, padded vectors built at most
+    // `max_batch` at a time).
+    let mut theta_groups: Vec<Vec<&Split>> = Vec::new();
     for pi in 0..spacing {
         for pj in 0..spacing {
             for child_pos in 0..4usize {
@@ -526,25 +551,27 @@ fn split_responses<S: SubstrateSolver + ?Sized>(
                             && child_index(sp.s) == child_pos
                     })
                     .collect();
-                if group.is_empty() {
-                    continue;
-                }
-                let mut theta = vec![0.0; n];
-                for sp in &group {
-                    scatter(&sp.o, tree.contacts_in_square(sp.parent), &mut theta);
-                }
-                let y = solver.solve(&theta);
-                // per member: refine the raw local responses (eq. 4.24) and
-                // add the parent row-basis part (eq. 4.22)
-                for sp in &group {
-                    let resp = assemble_split_response(
-                        tree, squares, sp.s, sp.parent, &sp.coeff, &sp.o, &y,
-                    );
-                    out[sp.s.flat()] = Some(resp);
+                if !group.is_empty() {
+                    theta_groups.push(group);
                 }
             }
         }
     }
+    let items = theta_groups.iter().map(|group| {
+        let mut theta = vec![0.0; n];
+        for sp in group {
+            scatter(&sp.o, tree.contacts_in_square(sp.parent), &mut theta);
+        }
+        (group, theta)
+    });
+    subsolver::for_each_batched(solver, options.max_batch, items, |group, y| {
+        // per member: refine the raw local responses (eq. 4.24) and
+        // add the parent row-basis part (eq. 4.22)
+        for sp in group {
+            let resp = assemble_split_response(tree, squares, sp.s, sp.parent, &sp.coeff, &sp.o, y);
+            out[sp.s.flat()] = Some(resp);
+        }
+    });
     out
 }
 
@@ -648,20 +675,18 @@ fn build_finest_local<S: SubstrateSolver + ?Sized>(
         out[s.flat()].l_contacts = tree.region_contacts(&tree.local(s));
     }
 
-    // responses to W columns
+    // responses to W columns: stream the independent (combined) vectors of
+    // every m and phase through `solve_batch` in RHS blocks, processing
+    // responses in the original order (per-square m order is preserved)
     let max_w = tree.squares(finest).map(|s| out[s.flat()].w.n_cols()).max().unwrap_or(0);
     let mut w_resp: Vec<Vec<Vec<f64>>> = vec![Vec::new(); side * side];
+    let mut theta_groups: Vec<(Vec<Square>, usize)> = Vec::new();
     for m in 0..max_w {
         if spacing == 0 {
             for s in tree.squares(finest) {
-                if m >= out[s.flat()].w.n_cols() {
-                    continue;
+                if m < out[s.flat()].w.n_cols() {
+                    theta_groups.push((vec![s], m));
                 }
-                let cs = tree.contacts_in_square(s);
-                let mut padded = vec![0.0; n];
-                scatter(out[s.flat()].w.col(m), cs, &mut padded);
-                let y = solver.solve(&padded);
-                w_resp[s.flat()].push(restrict(&y, &out[s.flat()].l_contacts));
             }
             continue;
         }
@@ -675,22 +700,30 @@ fn build_finest_local<S: SubstrateSolver + ?Sized>(
                             && m < out[s.flat()].w.n_cols()
                     })
                     .collect();
-                if group.is_empty() {
-                    continue;
-                }
-                let mut theta = vec![0.0; n];
-                for s in &group {
-                    scatter(out[s.flat()].w.col(m), tree.contacts_in_square(*s), &mut theta);
-                }
-                let y = solver.solve(&theta);
-                for s in &group {
-                    let w_col = out[s.flat()].w.col(m).to_vec();
-                    let resp = refine_local_response(tree, squares, *s, &w_col, &y);
-                    w_resp[s.flat()].push(resp);
+                if !group.is_empty() {
+                    theta_groups.push((group, m));
                 }
             }
         }
     }
+    let items = theta_groups.iter().map(|(group, m)| {
+        let mut theta = vec![0.0; n];
+        for s in group {
+            scatter(out[s.flat()].w.col(*m), tree.contacts_in_square(*s), &mut theta);
+        }
+        ((group, *m), theta)
+    });
+    subsolver::for_each_batched(solver, options.max_batch, items, |(group, m), y| {
+        for s in group {
+            if spacing == 0 {
+                w_resp[s.flat()].push(restrict(y, &out[s.flat()].l_contacts));
+            } else {
+                let w_col = out[s.flat()].w.col(m).to_vec();
+                let resp = refine_local_response(tree, squares, *s, &w_col, y);
+                w_resp[s.flat()].push(resp);
+            }
+        }
+    });
 
     // explicit local blocks: G^{(f)} = resp_V|L V' + resp_W W'  (eq. 4.26)
     for s in tree.squares(finest) {

@@ -82,6 +82,12 @@ pub struct SparsifyOptions {
     pub target_sparsity: f64,
     /// Contact cap per finest square for automatic level selection.
     pub contacts_per_square: usize,
+    /// Multi-RHS batching knobs, applied to every method: `max_batch`
+    /// bounds the RHS blocks each pipeline assembles for
+    /// [`SubstrateSolver::solve_batch`]; `threads` is for CLIs/benches to
+    /// plumb into the solver configs at construction time. Batching never
+    /// changes solve counts or results.
+    pub batch: subsparse_substrate::BatchOptions,
 }
 
 impl Default for SparsifyOptions {
@@ -92,6 +98,7 @@ impl Default for SparsifyOptions {
             lowrank: LowRankOptions::default(),
             target_sparsity: 4.0,
             contacts_per_square: 16,
+            batch: subsparse_substrate::BatchOptions::default(),
         }
     }
 }

@@ -16,7 +16,8 @@ use std::time::Instant;
 use subsparse_hier::BasisRep;
 use subsparse_layout::Layout;
 use subsparse_linalg::{svd::svd, Csr, Mat, Triplets};
-use subsparse_substrate::{extract_dense, CountingSolver, SubstrateSolver};
+use subsparse_lowrank::LowRankOptions;
+use subsparse_substrate::{extract_dense_batched, CountingSolver, SubstrateSolver};
 use subsparse_wavelet::ExtractOptions;
 
 use crate::metrics::threshold_dense;
@@ -46,7 +47,8 @@ impl Sparsifier for WaveletSparsifier {
         let counting = CountingSolver::new(solver);
         let basis =
             subsparse_wavelet::build_basis(layout, opts.resolve_levels(layout), opts.moment_order)?;
-        let rep = subsparse_wavelet::extract(&counting, &basis, &ExtractOptions::default());
+        let xopts = ExtractOptions { max_batch: opts.batch.max_batch, ..Default::default() };
+        let rep = subsparse_wavelet::extract(&counting, &basis, &xopts);
         Ok(SparsifyOutcome { rep, solves: counting.count(), build_time: t0.elapsed() })
     }
 }
@@ -77,22 +79,25 @@ impl Sparsifier for LowRankSparsifier {
         }
         let t0 = Instant::now();
         let counting = CountingSolver::new(solver);
-        let result = subsparse_lowrank::extract(&counting, layout, levels, &opts.lowrank)?;
+        let lr_opts = LowRankOptions { max_batch: opts.batch.max_batch, ..opts.lowrank };
+        let result = subsparse_lowrank::extract(&counting, layout, levels, &lr_opts)?;
         Ok(SparsifyOutcome { rep: result.rep, solves: counting.count(), build_time: t0.elapsed() })
     }
 }
 
-/// Extracts the dense `G` with one solve per contact and reports the
-/// count — the shared front half of every baseline method.
+/// Extracts the dense `G` with one solve per contact — issued as
+/// `max_batch`-wide RHS blocks — and reports the count; the shared front
+/// half of every baseline method.
 fn dense_reference(
     solver: &dyn SubstrateSolver,
     layout: &Layout,
+    opts: &SparsifyOptions,
 ) -> Result<(Mat, usize), SparsifyError> {
     if layout.n_contacts() == 0 {
         return Err(SparsifyError::Hier(subsparse_hier::HierError::EmptyLayout));
     }
     let counting = CountingSolver::new(solver);
-    let g = extract_dense(&counting);
+    let g = extract_dense_batched(&counting, &opts.batch);
     Ok((g, counting.count()))
 }
 
@@ -125,7 +130,7 @@ impl Sparsifier for ThresholdSparsifier {
         opts: &SparsifyOptions,
     ) -> Result<SparsifyOutcome, SparsifyError> {
         let t0 = Instant::now();
-        let (g, solves) = dense_reference(solver, layout)?;
+        let (g, solves) = dense_reference(solver, layout, opts)?;
         let n = g.n_rows();
         // Q = I stores n ones; spend the rest of the budget on Gw.
         let budget = opts.nnz_budget(n).saturating_sub(n).max(n);
@@ -155,7 +160,7 @@ impl Sparsifier for TopKSparsifier {
         opts: &SparsifyOptions,
     ) -> Result<SparsifyOutcome, SparsifyError> {
         let t0 = Instant::now();
-        let (g, solves) = dense_reference(solver, layout)?;
+        let (g, solves) = dense_reference(solver, layout, opts)?;
         let n = g.n_rows();
         let k = (opts.nnz_budget(n).saturating_sub(n) / n).clamp(1, n);
         let mut t = Triplets::new(n, n);
@@ -207,7 +212,7 @@ impl Sparsifier for SvdSparsifier {
         opts: &SparsifyOptions,
     ) -> Result<SparsifyOutcome, SparsifyError> {
         let t0 = Instant::now();
-        let (g, solves) = dense_reference(solver, layout)?;
+        let (g, solves) = dense_reference(solver, layout, opts)?;
         let n = g.n_rows();
         let r = rank_for_budget(n, opts.nnz_budget(n));
         let f = svd(&g);
@@ -244,7 +249,7 @@ impl Sparsifier for HybridSvdThresholdSparsifier {
         opts: &SparsifyOptions,
     ) -> Result<SparsifyOutcome, SparsifyError> {
         let t0 = Instant::now();
-        let (g, solves) = dense_reference(solver, layout)?;
+        let (g, solves) = dense_reference(solver, layout, opts)?;
         let n = g.n_rows();
         // split the budget: half to the low-rank part, half to the sparse
         // remainder (minus the n ones the identity block of Q stores)

@@ -39,11 +39,16 @@ pub struct EigenSolverConfig {
     pub max_iter: usize,
     /// Use the Jacobi (diagonal) preconditioner.
     pub jacobi: bool,
+    /// Worker threads for [`SubstrateSolver::solve_batch`] (0 = one per
+    /// available CPU). Each column runs the identical serial CG — with its
+    /// own 2-D DCT scratch grid — so results are bit-equal for every
+    /// thread count; 1 disables threading.
+    pub threads: usize,
 }
 
 impl Default for EigenSolverConfig {
     fn default() -> Self {
-        EigenSolverConfig { panels: 128, tol: 1e-8, max_iter: 4000, jacobi: true }
+        EigenSolverConfig { panels: 128, tol: 1e-8, max_iter: 4000, jacobi: true, threads: 1 }
     }
 }
 
@@ -320,18 +325,47 @@ impl LinOp for JacobiOp<'_> {
     }
 }
 
+impl EigenSolver {
+    /// One CG solve plus the panel-to-contact accumulation — the shared
+    /// core of [`SubstrateSolver::solve`] and the threaded
+    /// [`SubstrateSolver::solve_batch`]. The mode multipliers, DCT plans,
+    /// and Jacobi diagonal are built once and only read here; the per-CG
+    /// `P x P` scratch grid lives inside [`solve_panels`](Self::solve_panels)'s
+    /// operator, so concurrent columns never share mutable state.
+    fn solve_contacts_one(&self, contact_voltages: &[f64], currents: &mut [f64]) {
+        let panel_currents = self.solve_panels(contact_voltages);
+        currents.fill(0.0);
+        for (k, &o) in self.panel_owner.iter().enumerate() {
+            currents[o as usize] += panel_currents[k];
+        }
+    }
+}
+
 impl SubstrateSolver for EigenSolver {
     fn n_contacts(&self) -> usize {
         self.n_contacts
     }
 
     fn solve(&self, contact_voltages: &[f64]) -> Vec<f64> {
-        let panel_currents = self.solve_panels(contact_voltages);
         let mut currents = vec![0.0; self.n_contacts];
-        for (k, &o) in self.panel_owner.iter().enumerate() {
-            currents[o as usize] += panel_currents[k];
-        }
+        self.solve_contacts_one(contact_voltages, &mut currents);
         currents
+    }
+
+    fn solve_batch(&self, voltages: &subsparse_linalg::Mat) -> subsparse_linalg::Mat {
+        assert_eq!(voltages.n_rows(), self.n_contacts, "voltage block row mismatch");
+        crate::solver::solve_columns_threaded(
+            voltages,
+            self.n_contacts,
+            self.cfg.threads,
+            |v, out| self.solve_contacts_one(v, out),
+        )
+    }
+}
+
+impl crate::solver::HasSolveStats for EigenSolver {
+    fn solve_stats(&self) -> crate::solver::SolveStats {
+        self.stats()
     }
 }
 

@@ -96,6 +96,10 @@ pub struct FdSolverConfig {
     pub tol: f64,
     /// PCG iteration cap.
     pub max_iter: usize,
+    /// Worker threads for [`SubstrateSolver::solve_batch`] (0 = one per
+    /// available CPU). Each column runs the identical serial PCG, so the
+    /// results are bit-equal for every thread count; 1 disables threading.
+    pub threads: usize,
 }
 
 impl Default for FdSolverConfig {
@@ -109,6 +113,7 @@ impl Default for FdSolverConfig {
             precond: FdPrecond::FastPoisson(TopBc::AreaWeighted),
             tol: 1e-8,
             max_iter: 5000,
+            threads: 1,
         }
     }
 }
@@ -480,12 +485,14 @@ impl FdSolver {
     }
 }
 
-impl SubstrateSolver for FdSolver {
-    fn n_contacts(&self) -> usize {
-        self.n_contacts
-    }
-
-    fn solve(&self, contact_voltages: &[f64]) -> Vec<f64> {
+impl FdSolver {
+    /// One full PCG solve for one voltage vector — the shared core of
+    /// [`SubstrateSolver::solve`] and the threaded
+    /// [`SubstrateSolver::solve_batch`]. The system setup and
+    /// preconditioner are built once at construction and only *read* here,
+    /// so any number of worker threads can run this concurrently; stats
+    /// are accumulated atomically.
+    fn solve_one(&self, contact_voltages: &[f64], currents: &mut [f64]) {
         assert_eq!(contact_voltages.len(), self.n_contacts, "voltage vector length mismatch");
         let b = self.build_rhs(contact_voltages);
         let mut x = vec![0.0; self.n_nodes()];
@@ -500,7 +507,7 @@ impl SubstrateSolver for FdSolver {
                 pcg(&op, &pre, &b, &mut x, self.cfg.tol, self.cfg.max_iter)
             }
             PrecondData::Fast(fp) => {
-                let pre = FastOp { fp, pinned: &self.pinned };
+                let pre = FastOp { fp, pinned: &self.pinned, scratch: RefCell::default() };
                 pcg(&op, &pre, &b, &mut x, self.cfg.tol, self.cfg.max_iter)
             }
             PrecondData::Mg(mg) => {
@@ -510,7 +517,35 @@ impl SubstrateSolver for FdSolver {
         };
         self.solves.fetch_add(1, Ordering::Relaxed);
         self.iterations.fetch_add(result.iterations, Ordering::Relaxed);
-        self.contact_currents(contact_voltages, &x)
+        currents.copy_from_slice(&self.contact_currents(contact_voltages, &x));
+    }
+}
+
+impl SubstrateSolver for FdSolver {
+    fn n_contacts(&self) -> usize {
+        self.n_contacts
+    }
+
+    fn solve(&self, contact_voltages: &[f64]) -> Vec<f64> {
+        let mut currents = vec![0.0; self.n_contacts];
+        self.solve_one(contact_voltages, &mut currents);
+        currents
+    }
+
+    fn solve_batch(&self, voltages: &subsparse_linalg::Mat) -> subsparse_linalg::Mat {
+        assert_eq!(voltages.n_rows(), self.n_contacts, "voltage block row mismatch");
+        crate::solver::solve_columns_threaded(
+            voltages,
+            self.n_contacts,
+            self.cfg.threads,
+            |v, out| self.solve_one(v, out),
+        )
+    }
+}
+
+impl crate::solver::HasSolveStats for FdSolver {
+    fn solve_stats(&self) -> crate::solver::SolveStats {
+        self.stats()
     }
 }
 
@@ -695,7 +730,6 @@ struct FastPoisson {
     /// orthonormal DCT scalings
     sx: Vec<f64>,
     sy: Vec<f64>,
-    scratch: RefCell<FpScratch>,
 }
 
 #[derive(Debug, Default)]
@@ -745,25 +779,26 @@ impl FastPoisson {
             bot_extra,
             sx,
             sy,
-            scratch: RefCell::new(FpScratch::default()),
         }
     }
 
     /// Applies the inverse of the uniform-BC grid operator: one orthonormal
     /// 2-D DCT per z-plane, a tridiagonal solve in z per (kx, ky) mode, and
     /// the inverse transform.
-    fn apply_inverse(&self, x: &[f64], y: &mut [f64]) {
+    ///
+    /// The caller owns the scratch (one per PCG solve, not per
+    /// preconditioner), which keeps this type free of interior mutability
+    /// so concurrent batch solves can share one `FastPoisson`.
+    fn apply_inverse(&self, x: &[f64], y: &mut [f64], sc: &mut FpScratch) {
         let (nx, ny, nz) = (self.nx, self.ny, self.nz);
         let nxy = nx * ny;
         y.copy_from_slice(x);
-        let mut s = self.scratch.borrow_mut();
-        s.buf.resize(nx.max(ny).max(nz), 0.0);
-        s.col.resize(ny.max(nz), 0.0);
-        s.zdiag.resize(nz, 0.0);
-        s.zrhs.resize(nz, 0.0);
-        s.zscr.resize(nz, 0.0);
-        s.lower.resize(nz.saturating_sub(1), 0.0);
-        let sc = &mut *s;
+        sc.buf.resize(nx.max(ny).max(nz), 0.0);
+        sc.col.resize(ny.max(nz), 0.0);
+        sc.zdiag.resize(nz, 0.0);
+        sc.zrhs.resize(nz, 0.0);
+        sc.zscr.resize(nz, 0.0);
+        sc.lower.resize(nz.saturating_sub(1), 0.0);
         for iz in 0..nz {
             let plane = &mut y[iz * nxy..(iz + 1) * nxy];
             // forward orthonormal DCT rows (x)
@@ -850,6 +885,9 @@ impl FastPoisson {
 struct FastOp<'a> {
     fp: &'a FastPoisson,
     pinned: &'a [bool],
+    /// Per-solve scratch: each PCG solve owns its `FastOp`, so concurrent
+    /// batch columns never share this cell.
+    scratch: RefCell<FpScratch>,
 }
 
 impl LinOp for FastOp<'_> {
@@ -860,7 +898,7 @@ impl LinOp for FastOp<'_> {
         // restriction/extension keeps the preconditioner SPD on the
         // unknown subspace: input pinned entries are zero, and we zero the
         // output pinned entries
-        self.fp.apply_inverse(x, y);
+        self.fp.apply_inverse(x, y, &mut self.scratch.borrow_mut());
         for (i, &p) in self.pinned.iter().enumerate() {
             if p {
                 y[i] = 0.0;

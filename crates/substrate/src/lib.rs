@@ -36,7 +36,10 @@ pub mod solver;
 
 pub use eigen::{EigenSolver, EigenSolverConfig};
 pub use fd::{DirichletPlacement, FdPrecond, FdSolver, FdSolverConfig, TopBc};
-pub use solver::{extract_dense, CountingSolver, DenseSolver, SolveStats, SubstrateSolver};
+pub use solver::{
+    extract_dense, extract_dense_batched, BatchOptions, CountingSolver, DenseSolver, HasSolveStats,
+    SolveStats, SubstrateSolver,
+};
 
 use std::fmt;
 

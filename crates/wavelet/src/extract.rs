@@ -13,7 +13,7 @@
 
 use subsparse_hier::{BasisRep, Square, SymmetricAccumulator};
 use subsparse_linalg::{Csr, Mat};
-use subsparse_substrate::SubstrateSolver;
+use subsparse_substrate::{solver, SubstrateSolver};
 
 use crate::basis::WaveletBasis;
 
@@ -26,11 +26,17 @@ pub struct ExtractOptions {
     /// performs one solve per basis vector — useful as an accuracy
     /// reference, at `n` solves.
     pub spacing: usize,
+    /// Maximum right-hand sides assembled into one
+    /// [`SubstrateSolver::solve_batch`] call. Batching never changes the
+    /// solve *count* (each combined vector is still one solve) or the
+    /// results — it lets the solver amortize setup and use its worker
+    /// threads across independent combined solves.
+    pub max_batch: usize,
 }
 
 impl Default for ExtractOptions {
     fn default() -> Self {
-        ExtractOptions { spacing: 3 }
+        ExtractOptions { spacing: 3, max_batch: 32 }
     }
 }
 
@@ -56,21 +62,31 @@ pub fn extract<S: SubstrateSolver + ?Sized>(
     let mut acc = SymmetricAccumulator::new();
 
     // ---- coarsest-level nonvanishing vectors: dense rows/columns.
-    // One solve per root V column; the response is projected onto *all*
-    // basis vectors (forms 3.21-3.23 of the thesis are never assumed small).
+    // One solve per root V column, streamed in RHS blocks; the response
+    // is projected onto *all* basis vectors (forms 3.21-3.23 of the
+    // thesis are never assumed small).
     let q = basis.q();
-    for j in 0..basis.root_v() {
-        let qj = q_column(q, j, n);
-        let y = solver.solve(&qj);
-        let gw_col = q.matvec_t(&y);
-        for (i, &v) in gw_col.iter().enumerate() {
-            if v != 0.0 {
-                acc.add(i, j, v);
+    solver::for_each_batched(
+        solver,
+        options.max_batch,
+        (0..basis.root_v()).map(|j| (j, q_column(q, j, n))),
+        |j, y| {
+            let gw_col = q.matvec_t(y);
+            for (i, &v) in gw_col.iter().enumerate() {
+                if v != 0.0 {
+                    acc.add(i, j, v);
+                }
             }
-        }
-    }
+        },
+    );
 
     // ---- vanishing-moment vectors, level by level (source level l).
+    // The combined vectors of a level are mutually independent, so they
+    // stream through `solve_batch` in RHS blocks (the cheap group
+    // descriptors are listed first; the padded vectors are built at most
+    // `max_batch` at a time); per-group response extraction runs in the
+    // original order, so the result is identical to the
+    // one-solve-at-a-time loop.
     for l in 0..=finest {
         let side = tree.side(l);
         let spacing = if options.spacing == 0 { 0 } else { options.spacing.min(side) };
@@ -78,41 +94,44 @@ pub fn extract<S: SubstrateSolver + ?Sized>(
         if max_w == 0 {
             continue;
         }
+        let mut groups: Vec<(Vec<Square>, usize)> = Vec::new();
         if spacing == 0 {
             // no combining: one solve per basis vector
             for s in tree.squares(l) {
                 for m in 0..basis.w_count(s) {
-                    let theta = w_column_padded(basis, s, m, n);
-                    let y = solver.solve(&theta);
-                    extract_group_responses(basis, &[s], m, &y, &mut acc);
+                    groups.push((vec![s], m));
                 }
             }
-            continue;
-        }
-        for pi in 0..spacing {
-            for pj in 0..spacing {
-                for m in 0..max_w {
-                    // squares of this phase holding an m-th W column
-                    let group: Vec<Square> = tree
-                        .squares(l)
-                        .filter(|s| {
-                            s.ix as usize % spacing == pi
-                                && s.iy as usize % spacing == pj
-                                && m < basis.w_count(*s)
-                        })
-                        .collect();
-                    if group.is_empty() {
-                        continue;
+        } else {
+            for pi in 0..spacing {
+                for pj in 0..spacing {
+                    for m in 0..max_w {
+                        // squares of this phase holding an m-th W column
+                        let group: Vec<Square> = tree
+                            .squares(l)
+                            .filter(|s| {
+                                s.ix as usize % spacing == pi
+                                    && s.iy as usize % spacing == pj
+                                    && m < basis.w_count(*s)
+                            })
+                            .collect();
+                        if !group.is_empty() {
+                            groups.push((group, m));
+                        }
                     }
-                    let mut theta = vec![0.0; n];
-                    for s in &group {
-                        add_w_column(basis, *s, m, &mut theta);
-                    }
-                    let y = solver.solve(&theta);
-                    extract_group_responses(basis, &group, m, &y, &mut acc);
                 }
             }
         }
+        let items = groups.iter().map(|(group, m)| {
+            let mut theta = vec![0.0; n];
+            for s in group {
+                add_w_column(basis, *s, *m, &mut theta);
+            }
+            ((group, *m), theta)
+        });
+        solver::for_each_batched(solver, options.max_batch, items, |(group, m), y| {
+            extract_group_responses(basis, group, m, y, &mut acc);
+        });
     }
 
     BasisRep { q: basis.q().clone(), gw: acc.to_symmetric_csr(n) }
@@ -176,13 +195,6 @@ fn q_column(q: &Csr, j: usize, n: usize) -> Vec<f64> {
             out[i] = vals[k];
         }
     }
-    out
-}
-
-/// The zero-padded `m`-th vanishing basis vector of square `s`.
-fn w_column_padded(basis: &WaveletBasis, s: Square, m: usize, n: usize) -> Vec<f64> {
-    let mut out = vec![0.0; n];
-    add_w_column(basis, s, m, &mut out);
     out
 }
 
@@ -272,7 +284,7 @@ mod tests {
         let s = solver::synthetic(&layout);
         let g = s.matrix().clone();
         let basis = build_basis(&layout, 2, 2).unwrap();
-        let rep = extract(&s, &basis, &ExtractOptions { spacing: 0 });
+        let rep = extract(&s, &basis, &ExtractOptions { spacing: 0, ..Default::default() });
         let gw_exact = transform_dense(&g, &basis);
         // every *kept* entry must match the exact transform
         for (i, j, v) in rep.gw.iter() {
@@ -292,7 +304,7 @@ mod tests {
         let s = solver::synthetic(&layout);
         let g = s.matrix().clone();
         let basis = build_basis(&layout, 2, 2).unwrap();
-        let rep = extract(&s, &basis, &ExtractOptions { spacing: 0 });
+        let rep = extract(&s, &basis, &ExtractOptions { spacing: 0, ..Default::default() });
         let approx = rep.to_dense();
         let mut diff = approx.clone();
         diff.add_scaled(-1.0, &g);
