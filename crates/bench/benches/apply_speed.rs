@@ -1,40 +1,11 @@
-//! The `O(n log n)`-apply claim: dense `G v` versus the sparse
-//! `Q (Gw (Q' v))` representations and the phase-1 row-basis apply.
+//! The `O(n log n)`-apply claim, served: single-vector versus blocked
+//! apply for every `CouplingOp` representation (quick variant; run the
+//! `apply_speed` binary for the full sizes and the JSON emission).
 
-use std::hint::black_box;
-
-use subsparse::layout::generators;
-use subsparse::lowrank::LowRankOptions;
-use subsparse::substrate::solver;
-use subsparse::{extract_lowrank, extract_wavelet};
-use subsparse_bench::timing;
+use subsparse_bench::apply_speed::{format_rows, run_apply_speed};
 
 fn main() {
-    let layout = generators::regular_grid(128.0, 32, 2.0); // 1024 contacts
-    let dense = solver::synthetic(&layout);
-    let n = layout.n_contacts();
-    let wavelet = extract_wavelet(&dense, &layout, 3, 2).expect("wavelet extraction");
-    let (lowrank, row_basis) =
-        extract_lowrank(&dense, &layout, 3, &LowRankOptions::default()).expect("low-rank");
-    let g = dense.matrix().clone();
-    let v: Vec<f64> = (0..n).map(|i| ((i * 37) % 101) as f64 / 101.0).collect();
-
-    timing::group("apply_g (1024 contacts)");
-    timing::bench("dense_matvec", || {
-        black_box(g.matvec(black_box(&v)));
-    });
-    timing::bench("wavelet_qgwq", || {
-        black_box(wavelet.rep.apply(black_box(&v)));
-    });
-    timing::bench("lowrank_qgwq", || {
-        black_box(lowrank.rep.apply(black_box(&v)));
-    });
-    timing::bench("lowrank_rowbasis", || {
-        black_box(row_basis.apply(black_box(&v)));
-    });
-    // the thresholded Gwt is what a circuit simulator would embed
-    let (thresh, _) = lowrank.rep.thresholded_to_sparsity(lowrank.rep.sparsity_factor() * 6.0);
-    timing::bench("lowrank_qgwtq", || {
-        black_box(thresh.apply(black_box(&v)));
-    });
+    let rows = run_apply_speed(true);
+    print!("{}", format_rows(&rows));
+    assert!(rows.iter().all(|r| r.bit_equal), "a blocked apply diverged");
 }

@@ -1,0 +1,184 @@
+//! Single-vector versus blocked apply throughput, per representation —
+//! the serving-side companion of the extraction-side `batch_compare`.
+//!
+//! The paper's payoff is the *apply*: the sparse representation only
+//! matters because a circuit simulator applies it thousands of times.
+//! This runner times every [`CouplingOp`] representation — dense `G`, the
+//! wavelet and low-rank `Q Gw Q'` forms (plus the thresholded `Gwt`), and
+//! a factored low-rank `U S V'` — at several block widths through the
+//! zero-alloc serving path, verifies that every blocked apply is
+//! bit-identical to the looped per-vector apply, and reports nanoseconds
+//! per vector. The `apply_speed` binary emits the rows as
+//! `BENCH_apply_speed.json`, the perf-trajectory file CI tracks.
+
+use std::fmt::Write as _;
+
+use subsparse::layout::generators;
+use subsparse::linalg::rng::SmallRng;
+use subsparse::linalg::{ApplyWorkspace, CouplingOp, LowRankOp, Mat};
+use subsparse::lowrank::LowRankOptions;
+use subsparse::sparsify::eval::format_ns;
+use subsparse::substrate::solver;
+use subsparse::{extract_lowrank, extract_wavelet};
+
+use crate::timing;
+
+/// Block widths measured per representation (1 = the looped baseline).
+pub const BLOCK_WIDTHS: [usize; 3] = [1, 8, 32];
+
+/// One (representation, n, block-width) measurement.
+#[derive(Clone, Debug)]
+pub struct ApplySpeedRow {
+    /// Representation name (`dense`, `wavelet`, `lowrank`, `lowrank_gwt`,
+    /// `factored`).
+    pub method: String,
+    /// Contact count.
+    pub n: usize,
+    /// Vectors per blocked apply (1 = per-vector loop).
+    pub block: usize,
+    /// Stored nonzeros of the representation.
+    pub nnz: usize,
+    /// Median wall-clock nanoseconds per applied vector.
+    pub ns_per_vector: f64,
+    /// Whether the blocked result bit-agrees, column for column, with the
+    /// looped per-vector apply (always true for `block == 1`).
+    pub bit_equal: bool,
+}
+
+impl ApplySpeedRow {
+    /// One machine-readable JSON object (used by `BENCH_*.json` emission).
+    pub fn json(&self) -> String {
+        format!(
+            "{{\"method\":\"{}\",\"n\":{},\"block\":{},\"nnz\":{},\"ns_per_vector\":{:.1},\"bit_equal\":{}}}",
+            self.method, self.n, self.block, self.nnz, self.ns_per_vector, self.bit_equal
+        )
+    }
+}
+
+/// Times one op at every block width, checking blocked-vs-looped
+/// bit-agreement along the way.
+fn bench_op(method: &str, n: usize, op: &dyn CouplingOp, rows: &mut Vec<ApplySpeedRow>) {
+    let mut ws = ApplyWorkspace::new();
+    let mut y = vec![0.0; n];
+    for &block in &BLOCK_WIDTHS {
+        let x = Mat::from_fn(n, block, |i, j| ((i * 37 + j * 11) % 101) as f64 / 101.0 - 0.5);
+        let mut yb = Mat::zeros(0, 0);
+        // correctness gate: every blocked column bit-equals the looped apply
+        op.apply_block_into(&x, &mut yb, &mut ws);
+        let mut bit_equal = true;
+        for j in 0..block {
+            op.apply_into(x.col(j), &mut y, &mut ws);
+            if yb.col(j) != y.as_slice() {
+                bit_equal = false;
+            }
+        }
+        let label = format!("{method:<12} n={n:<5} b={block}");
+        let ns = if block == 1 {
+            timing::bench(&label, || {
+                op.apply_into(std::hint::black_box(x.col(0)), &mut y, &mut ws);
+                std::hint::black_box(&y);
+            })
+        } else {
+            timing::bench(&label, || {
+                op.apply_block_into(std::hint::black_box(&x), &mut yb, &mut ws);
+                std::hint::black_box(&yb);
+            }) / block as f64
+        };
+        rows.push(ApplySpeedRow {
+            method: method.to_string(),
+            n,
+            block,
+            nnz: op.nnz(),
+            ns_per_vector: ns,
+            bit_equal,
+        });
+    }
+}
+
+/// Runs the full comparison: every representation at every block width,
+/// on a quick grid (64 contacts) or the full sizes (256 and 1024 — the
+/// regime where blocking must win for the `O(n log n)` serving claim to
+/// cash out).
+pub fn run_apply_speed(quick: bool) -> Vec<ApplySpeedRow> {
+    let sides: &[usize] = if quick { &[8] } else { &[16, 32] };
+    let mut rows = Vec::new();
+    for &k in sides {
+        let layout = generators::regular_grid(128.0, k, 2.0);
+        let n = layout.n_contacts();
+        let dense = solver::synthetic(&layout);
+        let levels = if k <= 8 { 2 } else { 3 };
+        timing::group(&format!("apply throughput ({n} contacts)"));
+        let wavelet = extract_wavelet(&dense, &layout, levels, 2).expect("wavelet extraction");
+        let (lowrank, _) =
+            extract_lowrank(&dense, &layout, levels, &LowRankOptions::default()).expect("low-rank");
+        let (thresh, _) = lowrank.rep.thresholded_to_sparsity(lowrank.rep.sparsity_factor() * 6.0);
+        // a factored op with representative rank; random factors — apply
+        // cost depends on shapes, not values
+        let r = (n / 16).clamp(4, 64);
+        let mut rng = SmallRng::seed_from_u64(7);
+        let u = Mat::from_fn(n, r, |_, _| rng.range_f64(-1.0, 1.0));
+        let v = Mat::from_fn(n, r, |_, _| rng.range_f64(-1.0, 1.0));
+        let s: Vec<f64> = (0..r).map(|i| 1.0 / (1.0 + i as f64)).collect();
+        let factored = LowRankOp::new(u, s, v);
+
+        bench_op("dense", n, dense.matrix(), &mut rows);
+        bench_op("wavelet", n, &wavelet.rep, &mut rows);
+        bench_op("lowrank", n, &lowrank.rep, &mut rows);
+        bench_op("lowrank_gwt", n, &thresh, &mut rows);
+        bench_op("factored", n, &factored, &mut rows);
+    }
+    rows
+}
+
+/// Formats rows as an aligned summary table: ns/vector per block width,
+/// plus the blocked speedup over the looped baseline.
+pub fn format_rows(rows: &[ApplySpeedRow]) -> String {
+    let mut out = String::new();
+    writeln!(
+        out,
+        "\n{:<12} {:>6} {:>6} {:>9} {:>12} {:>9} {:>6}",
+        "method", "n", "block", "nnz", "ns/vector", "speedup", "bits"
+    )
+    .unwrap();
+    for row in rows {
+        let single = rows
+            .iter()
+            .find(|r| r.method == row.method && r.n == row.n && r.block == 1)
+            .map_or(row.ns_per_vector, |r| r.ns_per_vector);
+        writeln!(
+            out,
+            "{:<12} {:>6} {:>6} {:>9} {:>12} {:>8.2}x {:>6}",
+            row.method,
+            row.n,
+            row.block,
+            row.nnz,
+            format_ns(row.ns_per_vector),
+            single / row.ns_per_vector,
+            if row.bit_equal { "ok" } else { "DIFF" },
+        )
+        .unwrap();
+    }
+    out
+}
+
+/// Serializes rows as the `BENCH_apply_speed.json` array.
+pub fn rows_json(rows: &[ApplySpeedRow]) -> String {
+    let body: Vec<String> = rows.iter().map(|r| format!("  {}", r.json())).collect();
+    format!("[\n{}\n]\n", body.join(",\n"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_rows_cover_methods_and_blocks() {
+        let rows = run_apply_speed(true);
+        assert_eq!(rows.len(), 5 * BLOCK_WIDTHS.len());
+        assert!(rows.iter().all(|r| r.bit_equal), "a blocked apply diverged");
+        assert!(rows.iter().all(|r| r.ns_per_vector > 0.0));
+        let json = rows_json(&rows);
+        assert!(json.contains("\"method\":\"wavelet\"") && json.contains("\"block\":32"));
+        assert!(format_rows(&rows).contains("dense"));
+    }
+}

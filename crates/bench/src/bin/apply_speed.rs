@@ -1,0 +1,37 @@
+//! `apply_speed` — single-vector vs blocked serving throughput for every
+//! `CouplingOp` representation.
+//!
+//! ```text
+//! cargo run --release -p subsparse-bench --bin apply_speed -- [--quick] [--json]
+//! ```
+//!
+//! `--json` additionally writes `BENCH_apply_speed.json`
+//! (method × n × block-width → ns/vector), the perf-trajectory file CI
+//! tracks. Exits nonzero if any blocked apply fails to bit-agree with its
+//! looped counterpart, so CI can use it as a smoke test.
+
+use std::process::ExitCode;
+
+use subsparse_bench::apply_speed::{format_rows, rows_json, run_apply_speed};
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let json = args.iter().any(|a| a == "--json");
+
+    let rows = run_apply_speed(quick);
+    print!("{}", format_rows(&rows));
+    if json {
+        let path = "BENCH_apply_speed.json";
+        if let Err(e) = std::fs::write(path, rows_json(&rows)) {
+            eprintln!("error: cannot write {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+        println!("wrote {path}");
+    }
+    if rows.iter().any(|r| !r.bit_equal) {
+        eprintln!("error: a blocked apply diverged from the per-vector apply");
+        return ExitCode::FAILURE;
+    }
+    ExitCode::SUCCESS
+}

@@ -17,6 +17,7 @@
 //! Pass `--quick` to any binary for a smaller, faster configuration (same
 //! code paths, reduced sizes).
 
+pub mod apply_speed;
 pub mod batch;
 pub mod examples;
 pub mod figures;

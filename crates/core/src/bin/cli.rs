@@ -19,13 +19,13 @@ use std::process::ExitCode;
 
 use subsparse::layout::{generators, SplitLayout};
 use subsparse::lowrank::LowRankOptions;
-use subsparse::sparsify::eval::{evaluate, EvalOptions, MethodReport};
+use subsparse::sparsify::eval::{evaluate, time_applies, EvalOptions, MethodReport};
 use subsparse::sparsify::{all_methods, Method};
 use subsparse::substrate::{
     solver, Backplane, CountingSolver, EigenSolver, EigenSolverConfig, FdSolver, FdSolverConfig,
     Layer, Substrate, SubstrateSolver,
 };
-use subsparse::{extract_lowrank, BasisRep, Layout, SparsifyOptions};
+use subsparse::{extract_lowrank, BasisRep, CouplingOp, Layout, SparsifyOptions};
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -47,6 +47,7 @@ USAGE:
   subsparse-cli sparsify [--method NAME|all] [options]
   subsparse-cli info     --model STEM
   subsparse-cli apply    --model STEM --contact K [--volts V]
+                         [--repeat R] [--block B]
   subsparse-cli help
 
 EXTRACT OPTIONS:
@@ -81,6 +82,15 @@ SPARSIFY OPTIONS (run registered methods side by side, shared metrics):
                       (default 1; 0 = one per CPU)
   --batch B           max RHS columns per batched solve (default 32)
   --out STEM          save the (single) method's model as STEM.{q,gw}.mtx
+
+APPLY OPTIONS (serving):
+  --contact K         excited contact index (required)
+  --volts V           excitation voltage (default 1)
+  --repeat R          time R applies through the zero-alloc serving path
+                      and print ns/vector and MV/s (default 1: just print
+                      the currents once)
+  --block B           additionally time blocked applies, B vectors per
+                      panel, and print the per-vector speedup (default 1)
 ";
 
 fn run(args: &[String]) -> Result<(), String> {
@@ -335,11 +345,12 @@ fn cmd_info(args: &[String]) -> Result<(), String> {
     let opts = Opts::parse(args)?;
     let stem = PathBuf::from(opts.require("model")?);
     let rep = BasisRep::load(&stem).map_err(|e| format!("loading model: {e}"))?;
+    // everything below goes through the CouplingOp trait — inspection
+    // works the same for any representation the serving layer grows
+    let op: &dyn CouplingOp = &rep;
     println!("model {}:", stem.display());
-    println!("  contacts:     {}", rep.n());
-    println!("  Q nonzeros:   {} ({:.1}x sparse)", rep.q.nnz(), rep.q_sparsity_factor());
-    println!("  Gw nonzeros:  {} ({:.1}x sparse)", rep.gw.nnz(), rep.sparsity_factor());
-    println!("  dense G size: {} entries", rep.n() * rep.n());
+    println!("  {}", subsparse::spy::op_summary(op));
+    println!("  dense G size: {} entries", op.n() * op.n());
     Ok(())
 }
 
@@ -349,16 +360,41 @@ fn cmd_apply(args: &[String]) -> Result<(), String> {
     let contact: usize =
         opts.require("contact")?.parse().map_err(|_| "bad --contact index".to_string())?;
     let volts: f64 = opts.get_parsed("volts", 1.0)?;
+    let repeat: usize = opts.get_parsed("repeat", 1)?.max(1);
+    let block: usize = opts.get_parsed("block", 1)?.max(1);
     let rep = BasisRep::load(&stem).map_err(|e| format!("loading model: {e}"))?;
-    if contact >= rep.n() {
-        return Err(format!("contact {contact} out of range (model has {})", rep.n()));
+    let n = CouplingOp::n(&rep);
+    if contact >= n {
+        return Err(format!("contact {contact} out of range (model has {n})"));
     }
-    let mut v = vec![0.0; rep.n()];
-    v[contact] = volts;
-    let i = rep.apply(&v);
-    println!("currents for {volts} V on contact {contact}:");
-    for (k, val) in i.iter().enumerate() {
-        println!("{k:>8} {val:+.6e}");
+    if repeat <= 1 && block <= 1 {
+        let mut v = vec![0.0; n];
+        v[contact] = volts;
+        let i = rep.apply(&v);
+        println!("currents for {volts} V on contact {contact}:");
+        for (k, val) in i.iter().enumerate() {
+            println!("{k:>8} {val:+.6e}");
+        }
+        return Ok(());
+    }
+
+    // serving throughput: repeated applies through the zero-alloc paths,
+    // measured by the shared eval-harness protocol
+    println!("{}", subsparse::spy::op_summary(&rep));
+    let eval_opts = EvalOptions { apply_iters: repeat, apply_block: block, ..Default::default() };
+    let (single_ns, block_ns) = time_applies(&rep, &eval_opts);
+    println!(
+        "single-vector: {repeat} applies, {:.0} ns/vector, {:.3} MV/s",
+        single_ns,
+        1e3 / single_ns
+    );
+    if block > 1 {
+        println!(
+            "blocked ({block} wide): {:.0} ns/vector, {:.3} MV/s ({:.2}x vs single)",
+            block_ns,
+            1e3 / block_ns,
+            single_ns / block_ns,
+        );
     }
     Ok(())
 }

@@ -18,6 +18,14 @@
 //!   the geometric **wavelet** construction ([`wavelet`], thesis Ch. 3) and
 //!   the operator-adaptive **low-rank** construction ([`lowrank`], Ch. 4).
 //!
+//! Whatever the construction, the extracted model is *served* through one
+//! trait, [`CouplingOp`]: zero-allocation single-vector applies
+//! ([`CouplingOp::apply_into`] with a reusable [`ApplyWorkspace`]) and
+//! blocked multi-vector applies ([`CouplingOp::apply_block_into`]) that
+//! are bit-identical to the per-vector path but stream each stored
+//! nonzero once per panel — the fast path for the repeated-apply workload
+//! inside a circuit simulator.
+//!
 //! The workspace also contains everything needed to *be* the black box:
 //! a finite-difference substrate solver and an eigenfunction-expansion
 //! solver ([`substrate`]), the dense/sparse linear algebra ([`linalg`]),
@@ -119,4 +127,5 @@ pub use subsparse_sparsify::{Method, Sparsifier, SparsifyError, SparsifyOptions,
 // The types that almost every user touches, re-exported at the root.
 pub use subsparse_hier::BasisRep;
 pub use subsparse_layout::{Contact, Layout, Rect};
+pub use subsparse_linalg::{ApplyWorkspace, CouplingOp, LowRankOp};
 pub use subsparse_substrate::{Backplane, Layer, Substrate, SubstrateSolver};

@@ -9,7 +9,23 @@
 use std::io::{self, Write};
 use std::path::Path;
 
-use subsparse_linalg::Csr;
+use subsparse_linalg::{CouplingOp, Csr};
+
+/// One-line structural summary of any served operator — representation
+/// kind, dimension, stored nonzeros, and fill relative to dense — via the
+/// [`CouplingOp`] trait, so inspection tools (`cli info`, reports) never
+/// reach into representation-specific fields.
+pub fn op_summary(op: &dyn CouplingOp) -> String {
+    let n = op.n();
+    let nnz = op.nnz();
+    let dense = (n * n).max(1) as f64;
+    format!(
+        "{} operator: n = {n}, stored nonzeros = {nnz} ({:.1}% of dense, {:.1}x sparse)",
+        op.kind(),
+        100.0 * nnz as f64 / dense,
+        dense / nnz.max(1) as f64,
+    )
+}
 
 /// Renders an ASCII density plot: the matrix is binned onto a `size x size`
 /// character grid; each cell shows `' '`, `'.'`, `'+'`, or `'#'` by the
@@ -97,6 +113,15 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn op_summary_reports_via_trait() {
+        let m = diag_csr(8);
+        let s = op_summary(&m);
+        assert!(s.contains("csr operator"), "{s}");
+        assert!(s.contains("n = 8"), "{s}");
+        assert!(s.contains("nonzeros = 8"), "{s}");
     }
 
     #[test]

@@ -7,11 +7,12 @@
 //! * [`moments`] — polynomial moments of contact voltage functions and
 //!   moment translation between square centers (§3.2.1, §3.4.2).
 //! * [`rep`] — the `G ~ Q Gw Q'` representation both methods produce, with
-//!   thresholding helpers (§3.7, §4.6).
+//!   thresholding helpers (§3.7, §4.6), served through the
+//!   [`CouplingOp`](subsparse_linalg::CouplingOp) trait.
 
 pub mod moments;
 pub mod rep;
 pub mod tree;
 
-pub use rep::{BasisRep, SymmetricAccumulator};
+pub use rep::{BasisRep, SymmetricAccumulator, FORMAT_VERSION};
 pub use tree::{HierError, Quadtree, Square};

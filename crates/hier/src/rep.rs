@@ -2,13 +2,26 @@
 //!
 //! Both the wavelet method (thesis Ch. 3) and the low-rank method (Ch. 4)
 //! produce a sparse orthogonal change of basis `Q` and a sparse transformed
-//! matrix `Gw`. Applying the represented operator costs three sparse
-//! matrix-vector products; thresholding `Gw` trades accuracy for more
-//! sparsity (the `Gwt` of the thesis tables).
+//! matrix `Gw`. The represented operator serves through the
+//! [`CouplingOp`] trait: a single apply is the fused pipeline
+//! `Q' → Gw → Q` over two reusable workspace buffers (zero allocation in
+//! steady state), and a *blocked* apply pushes a whole panel of vectors
+//! through the same three factors so each stored nonzero is streamed from
+//! memory once per panel instead of once per vector. Thresholding `Gw`
+//! trades accuracy for more sparsity (the `Gwt` of the thesis tables).
 
-use std::collections::HashMap;
+use subsparse_linalg::{ApplyWorkspace, CouplingOp, Csr, Mat, Triplets};
 
-use subsparse_linalg::{Csr, Mat, Triplets};
+// Generic sparse assembly lives next to `Triplets` in `linalg`; re-exported
+// here because the extraction pipelines historically imported it from this
+// module.
+pub use subsparse_linalg::SymmetricAccumulator;
+
+/// Serialization format version written into (and checked from) the
+/// model files [`BasisRep::save`] produces. Bump when the on-disk layout
+/// changes; loaders reject files stamped with a newer version instead of
+/// silently misreading them.
+pub const FORMAT_VERSION: u8 = 1;
 
 /// A sparse `G ~ Q Gw Q'` representation.
 #[derive(Clone, Debug)]
@@ -27,13 +40,17 @@ impl BasisRep {
 
     /// Applies the represented operator: `i = Q (Gw (Q' v))`.
     ///
+    /// Allocating convenience for one-off applies; the serving path is
+    /// [`CouplingOp::apply_into`] with a warm [`ApplyWorkspace`], which
+    /// computes the identical result with zero steady-state allocation.
+    ///
     /// # Panics
     ///
     /// Panics if `v.len()` differs from the contact count.
     pub fn apply(&self, v: &[f64]) -> Vec<f64> {
-        let w = self.q.matvec_t(v);
-        let gw = self.gw.matvec(&w);
-        self.q.matvec(&gw)
+        let mut y = vec![0.0; self.n()];
+        self.apply_into(v, &mut y, &mut ApplyWorkspace::new());
+        y
     }
 
     /// Sparsity factor `n^2 / nnz(Gw)` — the "sparsity" columns of the
@@ -48,30 +65,39 @@ impl BasisRep {
     }
 
     /// Materializes the represented `G` as a dense matrix (test/metric use;
-    /// `O(n * nnz)`).
+    /// `O(n * nnz)`), as one blocked apply of the identity instead of `n`
+    /// allocating matvecs.
     pub fn to_dense(&self) -> Mat {
-        let n = self.n();
-        let mut g = Mat::zeros(n, n);
-        let mut e = vec![0.0; n];
-        for j in 0..n {
-            e[j] = 1.0;
-            let col = self.apply(&e);
-            g.col_mut(j).copy_from_slice(&col);
-            e[j] = 0.0;
-        }
-        g
+        let cols: Vec<usize> = (0..self.n()).collect();
+        self.dense_columns(&cols)
     }
 
-    /// Materializes selected columns of the represented `G`.
+    /// Materializes selected columns of the represented `G`, panel by
+    /// panel through [`CouplingOp::apply_block_into`] — bit-identical to
+    /// applying unit vectors one at a time, minus the per-column
+    /// allocations.
     pub fn dense_columns(&self, cols: &[usize]) -> Mat {
+        const PANEL: usize = 32;
         let n = self.n();
         let mut g = Mat::zeros(n, cols.len());
-        let mut e = vec![0.0; n];
-        for (k, &j) in cols.iter().enumerate() {
-            e[j] = 1.0;
-            let col = self.apply(&e);
-            g.col_mut(k).copy_from_slice(&col);
-            e[j] = 0.0;
+        let mut ws = ApplyWorkspace::new();
+        let mut e = Mat::zeros(0, 0);
+        let mut y = Mat::zeros(0, 0);
+        let mut k0 = 0;
+        while k0 < cols.len() {
+            let k1 = (k0 + PANEL).min(cols.len());
+            e.resize(n, k1 - k0);
+            for ej in e.cols_mut() {
+                ej.fill(0.0);
+            }
+            for (k, &j) in cols[k0..k1].iter().enumerate() {
+                e.col_mut(k)[j] = 1.0;
+            }
+            self.apply_block_into(&e, &mut y, &mut ws);
+            for k in k0..k1 {
+                g.col_mut(k).copy_from_slice(y.col(k - k0));
+            }
+            k0 = k1;
         }
         g
     }
@@ -144,17 +170,24 @@ impl BasisRep {
 
     /// Saves the representation as two Matrix Market files,
     /// `<stem>.q.mtx` and `<stem>.gw.mtx` — the exchange format for
-    /// handing the model to a circuit simulator.
+    /// handing the model to a circuit simulator. Each file carries a
+    /// [`FORMAT_VERSION`] tag in its comment header so future changes to
+    /// the serialization can be detected instead of silently misread.
     ///
     /// # Errors
     ///
     /// Returns any I/O error from writing the files.
     pub fn save(&self, stem: &std::path::Path) -> std::io::Result<()> {
+        let version = format!("subsparse basisrep format {FORMAT_VERSION}");
         let write = |suffix: &str, m: &Csr| -> std::io::Result<()> {
             let mut path = stem.as_os_str().to_owned();
             path.push(suffix);
             let f = std::fs::File::create(std::path::PathBuf::from(path))?;
-            subsparse_linalg::io::write_matrix_market(m, std::io::BufWriter::new(f))
+            subsparse_linalg::io::write_matrix_market_commented(
+                m,
+                &[&version],
+                std::io::BufWriter::new(f),
+            )
         };
         write(".q.mtx", &self.q)?;
         write(".gw.mtx", &self.gw)
@@ -164,13 +197,19 @@ impl BasisRep {
     ///
     /// # Errors
     ///
-    /// Returns an error if either file is missing or malformed, or the
-    /// factor shapes are inconsistent.
+    /// Returns an error if either file is missing or malformed, stamped
+    /// with a format version newer than [`FORMAT_VERSION`], or the factor
+    /// shapes are inconsistent. Files without a version tag (written
+    /// before tagging existed) load as the current format.
     pub fn load(stem: &std::path::Path) -> std::io::Result<BasisRep> {
         let read = |suffix: &str| -> std::io::Result<Csr> {
             let mut path = stem.as_os_str().to_owned();
             path.push(suffix);
-            let f = std::fs::File::open(std::path::PathBuf::from(path))?;
+            let path = std::path::PathBuf::from(path);
+            // peek only the leading comment block for the version tag,
+            // then stream the actual parse — no whole-file buffering
+            check_format_version(&read_comment_header(&path)?)?;
+            let f = std::fs::File::open(&path)?;
             subsparse_linalg::io::read_matrix_market(std::io::BufReader::new(f))
                 .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e.to_string()))
         };
@@ -218,65 +257,87 @@ impl BasisRep {
     }
 }
 
-/// Accumulates entry estimates for a symmetric sparse matrix, averaging
-/// duplicates.
-///
-/// Both extraction algorithms compute some `Gw` entries more than once
-/// (once per direction of a symmetric pair, or from overlapping
-/// combine-solves groups); averaging the estimates and then symmetrizing
-/// `(A + A')/2` is the thesis's "filled in by symmetry of G" step.
-#[derive(Clone, Debug, Default)]
-pub struct SymmetricAccumulator {
-    map: HashMap<(u32, u32), (f64, u32)>,
+/// The fused serving path: `Q' → Gw → Q` through two reusable workspace
+/// buffers, one vector or one panel at a time.
+impl CouplingOp for BasisRep {
+    fn n(&self) -> usize {
+        self.q.n_rows()
+    }
+
+    fn nnz(&self) -> usize {
+        self.q.nnz() + self.gw.nnz()
+    }
+
+    fn kind(&self) -> &'static str {
+        "basis-rep"
+    }
+
+    fn apply_into(&self, x: &[f64], y: &mut [f64], ws: &mut ApplyWorkspace) {
+        let (wa, wb) = ws.mats();
+        wa.resize(self.q.n_cols(), 1);
+        wb.resize(self.gw.n_rows(), 1);
+        self.q.matvec_t_into(x, wa.col_mut(0));
+        self.gw.matvec_into(wa.col(0), wb.col_mut(0));
+        self.q.matvec_into(wb.col(0), y);
+    }
+
+    fn apply_block_into(&self, x: &Mat, y: &mut Mat, ws: &mut ApplyWorkspace) {
+        let (wa, wb) = ws.mats();
+        self.q.matmul_t_dense_into(x, wa);
+        self.gw.matmul_dense_into(wa, wb);
+        self.q.matmul_dense_into(wb, y);
+    }
 }
 
-impl SymmetricAccumulator {
-    /// Creates an empty accumulator.
-    pub fn new() -> Self {
-        Self::default()
-    }
-
-    /// Records one estimate of entry `(row, col)`.
-    pub fn add(&mut self, row: usize, col: usize, value: f64) {
-        let e = self.map.entry((row as u32, col as u32)).or_insert((0.0, 0));
-        e.0 += value;
-        e.1 += 1;
-    }
-
-    /// Number of distinct `(row, col)` positions recorded.
-    pub fn len(&self) -> usize {
-        self.map.len()
-    }
-
-    /// Whether nothing has been recorded.
-    pub fn is_empty(&self) -> bool {
-        self.map.is_empty()
-    }
-
-    /// Builds the symmetrized `n x n` CSR matrix: duplicates averaged, then
-    /// each unordered pair `(i, j)` set to the mean of its two directions.
-    pub fn to_symmetric_csr(&self, n: usize) -> Csr {
-        let mut sym: HashMap<(u32, u32), (f64, u32)> = HashMap::new();
-        for (&(r, c), &(sum, cnt)) in &self.map {
-            let v = sum / cnt as f64;
-            let key = if r <= c { (r, c) } else { (c, r) };
-            let e = sym.entry(key).or_insert((0.0, 0));
-            e.0 += v;
-            e.1 += 1;
+/// Reads just the leading comment block (`%` lines and blanks) of a saved
+/// model file — the only place a format tag can live — so version
+/// checking never buffers the entry data.
+fn read_comment_header(path: &std::path::Path) -> std::io::Result<String> {
+    use std::io::BufRead as _;
+    let mut rdr = std::io::BufReader::new(std::fs::File::open(path)?);
+    let mut header = String::new();
+    let mut line = String::new();
+    loop {
+        line.clear();
+        if rdr.read_line(&mut line)? == 0 {
+            break;
         }
-        let mut t = Triplets::new(n, n);
-        for (&(r, c), &(sum, cnt)) in &sym {
-            let v = sum / cnt as f64;
-            if v == 0.0 {
-                continue;
-            }
-            t.push(r as usize, c as usize, v);
-            if r != c {
-                t.push(c as usize, r as usize, v);
-            }
+        if !(line.starts_with('%') || line.trim().is_empty()) {
+            break;
         }
-        t.to_csr()
+        header.push_str(&line);
     }
+    Ok(header)
+}
+
+/// Validates the `subsparse basisrep format N` tag in a saved model file's
+/// comment header. Untagged files pass (pre-tag writers); a tag newer than
+/// [`FORMAT_VERSION`] is an error — better to refuse than to misread.
+fn check_format_version(text: &str) -> std::io::Result<()> {
+    for line in text.lines().take_while(|l| l.starts_with('%') || l.trim().is_empty()) {
+        let Some(tag) =
+            line.trim_start_matches(['%', ' ']).strip_prefix("subsparse basisrep format ")
+        else {
+            continue;
+        };
+        let version: u8 = tag.trim().parse().map_err(|_| {
+            std::io::Error::new(
+                std::io::ErrorKind::InvalidData,
+                format!("malformed basisrep format tag: {line:?}"),
+            )
+        })?;
+        if version > FORMAT_VERSION {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::InvalidData,
+                format!(
+                    "model written with basisrep format {version}, \
+                     but this build reads at most {FORMAT_VERSION}"
+                ),
+            ));
+        }
+        return Ok(());
+    }
+    Ok(())
 }
 
 #[cfg(test)]
@@ -358,7 +419,12 @@ mod tests {
         std::fs::create_dir_all(&dir).unwrap();
         let stem = dir.join("model");
         r.save(&stem).unwrap();
+        // the files carry the current format-version tag
+        let text = std::fs::read_to_string(dir.join("model.q.mtx")).unwrap();
+        assert!(text.contains(&format!("subsparse basisrep format {FORMAT_VERSION}")));
         let back = BasisRep::load(&stem).unwrap();
+        assert_eq!(back.q.nnz(), r.q.nnz());
+        assert_eq!(back.gw.nnz(), r.gw.nnz());
         let (d1, d2) = (r.to_dense(), back.to_dense());
         for i in 0..3 {
             for j in 0..3 {
@@ -367,6 +433,48 @@ mod tests {
         }
         std::fs::remove_file(dir.join("model.q.mtx")).ok();
         std::fs::remove_file(dir.join("model.gw.mtx")).ok();
+    }
+
+    #[test]
+    fn load_rejects_newer_format_version() {
+        let r = example_rep();
+        let dir = std::env::temp_dir().join("subsparse_rep_version_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let stem = dir.join("model");
+        r.save(&stem).unwrap();
+        // stamp the q factor as a future format: load must refuse
+        let q_path = dir.join("model.q.mtx");
+        let bumped = std::fs::read_to_string(&q_path).unwrap().replace(
+            &format!("subsparse basisrep format {FORMAT_VERSION}"),
+            &format!("subsparse basisrep format {}", FORMAT_VERSION + 1),
+        );
+        std::fs::write(&q_path, bumped).unwrap();
+        let err = BasisRep::load(&stem).unwrap_err();
+        assert!(err.to_string().contains("format"), "{err}");
+        // untagged legacy files still load
+        let legacy = std::fs::read_to_string(&q_path)
+            .unwrap()
+            .lines()
+            .filter(|l| !l.contains("basisrep format"))
+            .collect::<Vec<_>>()
+            .join("\n");
+        std::fs::write(&q_path, legacy).unwrap();
+        assert!(BasisRep::load(&stem).is_ok());
+        std::fs::remove_file(q_path).ok();
+        std::fs::remove_file(dir.join("model.gw.mtx")).ok();
+    }
+
+    #[test]
+    fn coupling_op_agrees_with_apply() {
+        let r = example_rep();
+        assert_eq!(CouplingOp::n(&r), 3);
+        assert_eq!(CouplingOp::nnz(&r), r.q.nnz() + r.gw.nnz());
+        assert_eq!(r.kind(), "basis-rep");
+        let mut ws = ApplyWorkspace::new();
+        let v = [1.0, -2.0, 0.5];
+        let mut y = vec![0.0; 3];
+        r.apply_into(&v, &mut y, &mut ws);
+        assert_eq!(y, r.apply(&v));
     }
 
     #[test]

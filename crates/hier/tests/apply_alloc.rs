@@ -1,0 +1,84 @@
+//! The zero-allocation contract: after workspace warm-up, serving through
+//! `CouplingOp::apply_into` (and the blocked variant at a fixed width)
+//! performs no heap allocation at all.
+//!
+//! This file holds a single test on purpose: it installs a counting
+//! global allocator, and any sibling test running in the same binary
+//! would pollute the counts.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+use subsparse_hier::BasisRep;
+use subsparse_linalg::{svd, ApplyWorkspace, CouplingOp, Csr, LowRankOp, Mat, Triplets};
+
+/// Forwards to the system allocator, counting allocations.
+struct CountingAlloc;
+
+static ALLOCATIONS: AtomicUsize = AtomicUsize::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::SeqCst);
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::SeqCst);
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+fn allocations_during(f: impl FnOnce()) -> usize {
+    let before = ALLOCATIONS.load(Ordering::SeqCst);
+    f();
+    ALLOCATIONS.load(Ordering::SeqCst) - before
+}
+
+#[test]
+fn apply_into_is_allocation_free_after_warmup() {
+    let n = 48;
+    let dense = Mat::from_fn(n, n, |i, j| 1.0 / (1.0 + (i + j) as f64));
+    let mut t = Triplets::new(n, n);
+    for i in 0..n {
+        t.push(i, i, 2.0);
+        t.push(i, (i + 1) % n, -0.5);
+    }
+    let sparse = t.to_csr();
+    let rep = BasisRep { q: Csr::identity(n), gw: sparse.clone() };
+    let f = svd::svd(&dense);
+    let lowrank = LowRankOp::from_svd(&f, 4);
+
+    let x: Vec<f64> = (0..n).map(|i| (i as f64).sin()).collect();
+    let xb = Mat::from_fn(n, 8, |i, j| ((i * 7 + j) as f64).cos());
+    let mut y = vec![0.0; n];
+    let mut yb = Mat::zeros(n, 8);
+    let mut ws = ApplyWorkspace::new();
+
+    for op in [&dense as &dyn CouplingOp, &sparse, &rep, &lowrank] {
+        // warm-up pass: buffers grow here and only here
+        op.apply_into(&x, &mut y, &mut ws);
+        op.apply_block_into(&xb, &mut yb, &mut ws);
+
+        let single = allocations_during(|| {
+            for _ in 0..16 {
+                op.apply_into(&x, &mut y, &mut ws);
+            }
+        });
+        assert_eq!(single, 0, "{}: apply_into allocated after warm-up", op.kind());
+
+        let blocked = allocations_during(|| {
+            for _ in 0..16 {
+                op.apply_block_into(&xb, &mut yb, &mut ws);
+            }
+        });
+        assert_eq!(blocked, 0, "{}: apply_block_into allocated after warm-up", op.kind());
+    }
+}

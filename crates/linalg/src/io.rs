@@ -60,9 +60,27 @@ impl From<io::Error> for ReadMatrixError {
 /// # Errors
 ///
 /// Returns any I/O error from the writer.
-pub fn write_matrix_market<W: Write>(m: &Csr, mut w: W) -> io::Result<()> {
+pub fn write_matrix_market<W: Write>(m: &Csr, w: W) -> io::Result<()> {
+    write_matrix_market_commented(m, &[], w)
+}
+
+/// Like [`write_matrix_market`], with extra `%`-prefixed comment lines
+/// after the header — the carrier for format metadata such as the
+/// `BasisRep` serialization version tag.
+///
+/// # Errors
+///
+/// Returns any I/O error from the writer.
+pub fn write_matrix_market_commented<W: Write>(
+    m: &Csr,
+    comments: &[&str],
+    mut w: W,
+) -> io::Result<()> {
     writeln!(w, "%%MatrixMarket matrix coordinate real general")?;
     writeln!(w, "% written by subsparse")?;
+    for c in comments {
+        writeln!(w, "% {c}")?;
+    }
     writeln!(w, "{} {} {}", m.n_rows(), m.n_cols(), m.nnz())?;
     for (i, j, v) in m.iter() {
         writeln!(w, "{} {} {v:.17e}", i + 1, j + 1)?;

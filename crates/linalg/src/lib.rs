@@ -15,7 +15,10 @@
 //! * [`tridiag`] — Thomas-algorithm tridiagonal solves (fast-Poisson
 //!   preconditioner).
 //! * [`sparse`] — CSR matrices for the change-of-basis matrix `Q` and the
-//!   sparsified conductance matrix `Gw`.
+//!   sparsified conductance matrix `Gw`, plus the symmetric assembly
+//!   accumulator.
+//! * [`op`] — the [`CouplingOp`] serving layer: one zero-allocation,
+//!   blocked apply path over every operator representation.
 //! * [`io`] — Matrix Market import/export of the sparse factors.
 //!
 //! # Example
@@ -34,6 +37,7 @@ pub mod dct;
 pub mod fft;
 pub mod io;
 pub mod mat;
+pub mod op;
 pub mod qr;
 pub mod rng;
 pub mod sparse;
@@ -42,5 +46,6 @@ pub mod tridiag;
 
 pub use cg::{cg, pcg, CgResult, IdentityPrecond, LinOp};
 pub use mat::{axpy, dot, nrm2, Mat};
-pub use sparse::{Csr, Triplets};
+pub use op::{ApplyWorkspace, CouplingOp, LowRankOp};
+pub use sparse::{Csr, SymmetricAccumulator, Triplets};
 pub use svd::{svd, Svd};

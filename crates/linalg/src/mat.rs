@@ -19,7 +19,7 @@ use std::ops::{Index, IndexMut};
 /// let y = a.matvec(&[3.0, 4.0]);
 /// assert_eq!(y, vec![3.0, 8.0]);
 /// ```
-#[derive(Clone, PartialEq)]
+#[derive(Clone, Default, PartialEq)]
 pub struct Mat {
     n_rows: usize,
     n_cols: usize,
@@ -127,14 +127,26 @@ impl Mat {
     ///
     /// Panics if `x.len() != n_cols`.
     pub fn matvec(&self, x: &[f64]) -> Vec<f64> {
-        assert_eq!(x.len(), self.n_cols, "matvec dimension mismatch");
         let mut y = vec![0.0; self.n_rows];
+        self.matvec_into(x, &mut y);
+        y
+    }
+
+    /// Computes `y = A x` into an existing buffer (overwritten), with no
+    /// allocation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len() != n_cols` or `y.len() != n_rows`.
+    pub fn matvec_into(&self, x: &[f64], y: &mut [f64]) {
+        assert_eq!(x.len(), self.n_cols, "matvec dimension mismatch");
+        assert_eq!(y.len(), self.n_rows, "matvec output length mismatch");
+        y.fill(0.0);
         for (j, &xj) in x.iter().enumerate() {
             if xj != 0.0 {
-                axpy(xj, self.col(j), &mut y);
+                axpy(xj, self.col(j), y);
             }
         }
-        y
     }
 
     /// Computes `y = A' x` (transpose apply).
@@ -143,8 +155,36 @@ impl Mat {
     ///
     /// Panics if `x.len() != n_rows`.
     pub fn matvec_t(&self, x: &[f64]) -> Vec<f64> {
+        let mut y = vec![0.0; self.n_cols];
+        self.matvec_t_into(x, &mut y);
+        y
+    }
+
+    /// Computes `y = A' x` into an existing buffer (overwritten), with no
+    /// allocation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len() != n_rows` or `y.len() != n_cols`.
+    pub fn matvec_t_into(&self, x: &[f64], y: &mut [f64]) {
         assert_eq!(x.len(), self.n_rows, "matvec_t dimension mismatch");
-        (0..self.n_cols).map(|j| dot(self.col(j), x)).collect()
+        assert_eq!(y.len(), self.n_cols, "matvec_t output length mismatch");
+        for (j, yj) in y.iter_mut().enumerate() {
+            *yj = dot(self.col(j), x);
+        }
+    }
+
+    /// Reshapes the matrix in place to `n_rows x n_cols`, reusing the
+    /// backing buffer (growing it only when the new shape exceeds its
+    /// capacity). The resulting entries are unspecified — callers are
+    /// expected to overwrite them, which is exactly what the `*_into`
+    /// kernels do. This is what lets [`ApplyWorkspace`]
+    /// (crate::op::ApplyWorkspace) scratch matrices change shape between
+    /// applies without steady-state allocation.
+    pub fn resize(&mut self, n_rows: usize, n_cols: usize) {
+        self.n_rows = n_rows;
+        self.n_cols = n_cols;
+        self.data.resize(n_rows * n_cols, 0.0);
     }
 
     /// Dense matrix product `A * B`, cache-blocked over the inner
@@ -161,10 +201,28 @@ impl Mat {
     ///
     /// Panics on inner-dimension mismatch.
     pub fn matmul(&self, b: &Mat) -> Mat {
+        let mut c = Mat::zeros(0, 0);
+        self.matmul_into(b, &mut c);
+        c
+    }
+
+    /// In-place variant of [`matmul`](Self::matmul): resizes `c` to
+    /// `n_rows x b.n_cols` (reusing its buffer) and overwrites it with
+    /// `A * B`. Accumulation order per output column is identical to
+    /// [`matvec`](Self::matvec), so blocked multi-RHS applies are
+    /// bit-identical to column-at-a-time ones.
+    ///
+    /// # Panics
+    ///
+    /// Panics on inner-dimension mismatch.
+    pub fn matmul_into(&self, b: &Mat, c: &mut Mat) {
         assert_eq!(self.n_cols, b.n_rows, "matmul dimension mismatch");
-        let mut c = Mat::zeros(self.n_rows, b.n_cols);
+        c.resize(self.n_rows, b.n_cols);
         // ~256 KiB of A-panel per block (f64), at least 8 columns
         let kb = (32 * 1024 / self.n_rows.max(1)).max(8).min(self.n_cols.max(1));
+        for cj in c.cols_mut() {
+            cj.fill(0.0);
+        }
         for k0 in (0..self.n_cols).step_by(kb) {
             let k1 = (k0 + kb).min(self.n_cols);
             for j in 0..b.n_cols {
@@ -178,7 +236,6 @@ impl Mat {
                 }
             }
         }
-        c
     }
 
     /// Dense matrix product `A' * B`.
@@ -187,15 +244,29 @@ impl Mat {
     ///
     /// Panics on dimension mismatch (`A` and `B` must have equal row counts).
     pub fn matmul_tn(&self, b: &Mat) -> Mat {
+        let mut c = Mat::zeros(0, 0);
+        self.matmul_tn_into(b, &mut c);
+        c
+    }
+
+    /// In-place variant of [`matmul_tn`](Self::matmul_tn): resizes `c` to
+    /// `n_cols x b.n_cols` (reusing its buffer) and overwrites it with
+    /// `A' * B`. Each output column is computed exactly as
+    /// [`matvec_t`](Self::matvec_t) computes it (one dot product per row),
+    /// so blocked transpose applies are bit-identical to per-vector ones.
+    ///
+    /// # Panics
+    ///
+    /// Panics on dimension mismatch (`A` and `B` must have equal row counts).
+    pub fn matmul_tn_into(&self, b: &Mat, c: &mut Mat) {
         assert_eq!(self.n_rows, b.n_rows, "matmul_tn dimension mismatch");
-        let mut c = Mat::zeros(self.n_cols, b.n_cols);
+        c.resize(self.n_cols, b.n_cols);
         for j in 0..b.n_cols {
             let bj = b.col(j);
             for i in 0..self.n_cols {
                 c[(i, j)] = dot(self.col(i), bj);
             }
         }
-        c
     }
 
     /// Dense matrix product `A * B'`.

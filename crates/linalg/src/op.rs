@@ -1,0 +1,350 @@
+//! The serving layer: one zero-allocation, blocked apply path over every
+//! representation of a coupling operator.
+//!
+//! Extraction produces operators in several shapes — a dense [`Mat`], a
+//! plain sparse [`Csr`], the transformed-basis `Q Gw Q'` form, a factored
+//! low-rank `U S V'` ([`LowRankOp`]) — but a circuit simulator consumes
+//! them all the same way: apply `y = G x` thousands of times, often for a
+//! whole block of excitation vectors at once. [`CouplingOp`] is that
+//! consumer's contract:
+//!
+//! * [`apply_into`](CouplingOp::apply_into) — one vector, into a caller
+//!   buffer, with every intermediate living in a reusable
+//!   [`ApplyWorkspace`], so steady-state serving performs **zero heap
+//!   allocation**;
+//! * [`apply_block_into`](CouplingOp::apply_block_into) — a dense block of
+//!   vectors at once. Implementations use panel-blocked kernels that
+//!   stream each operator entry once per panel instead of once per vector;
+//!   the per-column accumulation order is identical to the per-vector
+//!   path, so **blocked results are bit-identical** to looped
+//!   [`apply_into`](CouplingOp::apply_into) calls.
+//!
+//! ## When blocked apply wins
+//!
+//! A single sparse apply is memory-bound: every stored entry of the
+//! operator is read from DRAM once per vector and used for exactly one
+//! multiply-add. Applying a block of `b` vectors amortizes that traffic —
+//! each entry read serves `b` multiply-adds — so throughput grows with the
+//! block width until the panel of right-hand sides stops fitting in cache.
+//! In practice the win is largest exactly where serving hurts: big
+//! operators (`n >= 1024`) applied to many vectors (`b >= 8`), the
+//! repeated-apply workload inside transient circuit simulation. For a
+//! handful of applies on a small operator, plain
+//! [`apply_into`](CouplingOp::apply_into) is already optimal and blocking
+//! buys nothing — which is why both entry points exist.
+//!
+//! # Example
+//!
+//! ```
+//! use subsparse_linalg::{ApplyWorkspace, CouplingOp, Mat};
+//!
+//! let g = Mat::from_rows(&[&[2.0, -1.0], &[-1.0, 2.0]]);
+//! let mut ws = ApplyWorkspace::new();
+//! let mut y = vec![0.0; 2];
+//! g.apply_into(&[1.0, 0.0], &mut y, &mut ws); // no allocation after warm-up
+//! assert_eq!(y, vec![2.0, -1.0]);
+//! assert_eq!(g.nnz(), 4);
+//! ```
+
+use crate::mat::Mat;
+use crate::sparse::Csr;
+
+/// Reusable scratch space for [`CouplingOp`] applies.
+///
+/// Holds two scratch matrices that the apply pipelines resize in place
+/// (single-vector applies use them as one-column matrices). Buffers only
+/// grow, so once a workspace has served an operator/block-width
+/// combination, every further apply through it is allocation-free — the
+/// contract the serving layer is named for, and what the
+/// counting-allocator test in `crates/hier/tests/apply_alloc.rs` pins
+/// down.
+#[derive(Clone, Debug, Default)]
+pub struct ApplyWorkspace {
+    a: Mat,
+    b: Mat,
+}
+
+impl ApplyWorkspace {
+    /// Creates an empty workspace (buffers grow on first use).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Pre-sizes both scratch buffers for applying an operator with
+    /// `inner` intermediate coefficients to blocks of up to `block`
+    /// vectors, so even the first apply allocates nothing.
+    pub fn warm(&mut self, inner: usize, block: usize) {
+        self.a.resize(inner, block);
+        self.b.resize(inner, block);
+    }
+
+    /// Both scratch matrices, mutably (they are always disjoint).
+    pub fn mats(&mut self) -> (&mut Mat, &mut Mat) {
+        (&mut self.a, &mut self.b)
+    }
+}
+
+/// A served coupling operator: anything that can play `x ↦ G x` for a
+/// circuit simulator, one vector or one block at a time, without
+/// allocating in steady state.
+///
+/// Implementations must keep [`apply_block_into`](Self::apply_block_into)
+/// bit-identical, column for column, to repeated
+/// [`apply_into`](Self::apply_into) calls — blocking is a performance
+/// lever, never a semantic one. The contract suite in
+/// `crates/hier/tests/coupling_contract.rs` enforces this for every
+/// implementation in the workspace.
+pub trait CouplingOp {
+    /// Number of contacts (the operator is `n x n`).
+    fn n(&self) -> usize;
+
+    /// Stored nonzeros across every factor — the memory an embedding
+    /// simulator pays, and the per-apply work estimate.
+    fn nnz(&self) -> usize;
+
+    /// Short stable name of the representation (`"dense"`, `"csr"`,
+    /// `"basis-rep"`, `"lowrank-factored"`), for CLIs and reports.
+    fn kind(&self) -> &'static str;
+
+    /// Applies `y = G x` into `y` (overwritten), using `ws` for every
+    /// intermediate.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len()` or `y.len()` differs from [`n`](Self::n).
+    fn apply_into(&self, x: &[f64], y: &mut [f64], ws: &mut ApplyWorkspace);
+
+    /// Applies `Y = G X` for a dense block of vectors (columns), resizing
+    /// `y` to `n x x.n_cols()` in place and overwriting it.
+    ///
+    /// The default forwards column by column through
+    /// [`apply_into`](Self::apply_into); representations with a blocked
+    /// kernel override it. Either way column `j` of the result is
+    /// bit-identical to `apply_into(x.col(j), ..)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.n_rows()` differs from [`n`](Self::n).
+    fn apply_block_into(&self, x: &Mat, y: &mut Mat, ws: &mut ApplyWorkspace) {
+        assert_eq!(x.n_rows(), self.n(), "apply_block dimension mismatch");
+        y.resize(self.n(), x.n_cols());
+        for j in 0..x.n_cols() {
+            self.apply_into(x.col(j), y.col_mut(j), ws);
+        }
+    }
+
+    /// Allocating convenience over [`apply_into`](Self::apply_into), for
+    /// one-off applies outside the serving loop.
+    fn apply_vec(&self, x: &[f64]) -> Vec<f64> {
+        let mut y = vec![0.0; self.n()];
+        self.apply_into(x, &mut y, &mut ApplyWorkspace::new());
+        y
+    }
+
+    /// Allocating convenience over
+    /// [`apply_block_into`](Self::apply_block_into).
+    fn apply_block(&self, x: &Mat) -> Mat {
+        let mut y = Mat::zeros(0, 0);
+        self.apply_block_into(x, &mut y, &mut ApplyWorkspace::new());
+        y
+    }
+}
+
+impl CouplingOp for Mat {
+    fn n(&self) -> usize {
+        self.n_rows()
+    }
+
+    fn nnz(&self) -> usize {
+        self.n_rows() * self.n_cols()
+    }
+
+    fn kind(&self) -> &'static str {
+        "dense"
+    }
+
+    fn apply_into(&self, x: &[f64], y: &mut [f64], _ws: &mut ApplyWorkspace) {
+        self.matvec_into(x, y);
+    }
+
+    fn apply_block_into(&self, x: &Mat, y: &mut Mat, _ws: &mut ApplyWorkspace) {
+        self.matmul_into(x, y);
+    }
+}
+
+impl CouplingOp for Csr {
+    fn n(&self) -> usize {
+        self.n_rows()
+    }
+
+    fn nnz(&self) -> usize {
+        Csr::nnz(self)
+    }
+
+    fn kind(&self) -> &'static str {
+        "csr"
+    }
+
+    fn apply_into(&self, x: &[f64], y: &mut [f64], _ws: &mut ApplyWorkspace) {
+        self.matvec_into(x, y);
+    }
+
+    fn apply_block_into(&self, x: &Mat, y: &mut Mat, _ws: &mut ApplyWorkspace) {
+        self.matmul_dense_into(x, y);
+    }
+}
+
+/// A factored low-rank coupling operator `G ~ U diag(s) V'`, applied as
+/// `U (s ∘ (V' x))` without ever materializing the `n x n` product.
+///
+/// This is the serve-ready form of an SVD-style compression: `2 n r + r`
+/// stored values and `O(n r)` per apply instead of `n^2`. Symmetric
+/// operators use `V = U`; the factors are kept separate so one-sided
+/// truncations serve just as well.
+#[derive(Clone, Debug)]
+pub struct LowRankOp {
+    u: Mat,
+    s: Vec<f64>,
+    v: Mat,
+}
+
+impl LowRankOp {
+    /// Builds the operator from its factors.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `u` and `v` are `n x r` with `r == s.len()`.
+    pub fn new(u: Mat, s: Vec<f64>, v: Mat) -> Self {
+        assert_eq!(u.n_cols(), s.len(), "U column count must match singular values");
+        assert_eq!(v.n_cols(), s.len(), "V column count must match singular values");
+        assert_eq!(u.n_rows(), v.n_rows(), "U and V must act on the same space");
+        LowRankOp { u, s, v }
+    }
+
+    /// The rank `r` of the factorization.
+    pub fn rank(&self) -> usize {
+        self.s.len()
+    }
+
+    /// Truncates an SVD to its `r` leading triplets and serves it.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `r` exceeds the number of computed singular values.
+    pub fn from_svd(f: &crate::svd::Svd, r: usize) -> Self {
+        LowRankOp::new(f.u.col_block(0, r), f.s[..r].to_vec(), f.v.col_block(0, r))
+    }
+}
+
+impl CouplingOp for LowRankOp {
+    fn n(&self) -> usize {
+        self.u.n_rows()
+    }
+
+    fn nnz(&self) -> usize {
+        self.u.n_rows() * self.u.n_cols() + self.s.len() + self.v.n_rows() * self.v.n_cols()
+    }
+
+    fn kind(&self) -> &'static str {
+        "lowrank-factored"
+    }
+
+    fn apply_into(&self, x: &[f64], y: &mut [f64], ws: &mut ApplyWorkspace) {
+        let (t, _) = ws.mats();
+        t.resize(self.rank(), 1);
+        self.v.matvec_t_into(x, t.col_mut(0));
+        for (ti, si) in t.col_mut(0).iter_mut().zip(&self.s) {
+            *ti *= si;
+        }
+        self.u.matvec_into(t.col(0), y);
+    }
+
+    fn apply_block_into(&self, x: &Mat, y: &mut Mat, ws: &mut ApplyWorkspace) {
+        let (t, _) = ws.mats();
+        self.v.matmul_tn_into(x, t);
+        for tj in t.cols_mut() {
+            for (ti, si) in tj.iter_mut().zip(&self.s) {
+                *ti *= si;
+            }
+        }
+        self.u.matmul_into(t, y);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sparse::Triplets;
+    use crate::svd::svd;
+
+    fn test_csr() -> Csr {
+        let mut t = Triplets::new(4, 4);
+        for (i, j, v) in [(0, 0, 2.0), (0, 2, -1.0), (1, 1, 3.0), (2, 3, 0.5), (3, 0, -2.5)] {
+            t.push(i, j, v);
+        }
+        t.to_csr()
+    }
+
+    #[test]
+    fn trait_objects_serve_every_kind() {
+        let dense = Mat::from_fn(4, 4, |i, j| 1.0 / (1.0 + (i + 2 * j) as f64));
+        let sparse = test_csr();
+        let f = svd(&dense);
+        let lr = LowRankOp::from_svd(&f, 2);
+        let ops: Vec<&dyn CouplingOp> = vec![&dense, &sparse, &lr];
+        let mut ws = ApplyWorkspace::new();
+        let x = vec![1.0, -1.0, 0.5, 0.0];
+        let mut y = vec![0.0; 4];
+        for op in ops {
+            assert_eq!(op.n(), 4);
+            assert!(op.nnz() > 0);
+            assert!(!op.kind().is_empty());
+            op.apply_into(&x, &mut y, &mut ws);
+            assert_eq!(y, op.apply_vec(&x));
+        }
+    }
+
+    #[test]
+    fn lowrank_matches_materialized_product() {
+        let g = Mat::from_fn(5, 5, |i, j| ((i + 1) * (j + 1)) as f64 / 7.0);
+        let f = svd(&g);
+        let lr = LowRankOp::from_svd(&f, 5); // full rank: exact up to roundoff
+        assert_eq!(lr.rank(), 5);
+        let x = vec![0.3, -1.2, 0.0, 2.0, 0.7];
+        let exact = g.matvec(&x);
+        let approx = lr.apply_vec(&x);
+        for (a, e) in approx.iter().zip(&exact) {
+            assert!((a - e).abs() < 1e-10, "{a} vs {e}");
+        }
+    }
+
+    #[test]
+    fn default_block_forwards_per_column() {
+        // an op relying on the default apply_block_into
+        struct Scaler(usize);
+        impl CouplingOp for Scaler {
+            fn n(&self) -> usize {
+                self.0
+            }
+            fn nnz(&self) -> usize {
+                self.0
+            }
+            fn kind(&self) -> &'static str {
+                "scaler"
+            }
+            fn apply_into(&self, x: &[f64], y: &mut [f64], _ws: &mut ApplyWorkspace) {
+                for (yi, xi) in y.iter_mut().zip(x) {
+                    *yi = 2.0 * xi;
+                }
+            }
+        }
+        let op = Scaler(3);
+        let x = Mat::from_fn(3, 2, |i, j| (i + 3 * j) as f64);
+        let y = op.apply_block(&x);
+        for j in 0..2 {
+            for i in 0..3 {
+                assert_eq!(y[(i, j)], 2.0 * x[(i, j)]);
+            }
+        }
+    }
+}

@@ -5,7 +5,14 @@
 //! (`O(n log n)` apply, sparsity factors in Tables 3.1/4.1–4.3) are
 //! measured on these.
 
+use std::collections::HashMap;
+
 use crate::mat::Mat;
+
+/// Right-hand-side columns processed per panel by the blocked CSR × dense
+/// kernels. Sized so a panel's accumulators live in registers; the panel
+/// width never affects results (per-column accumulation order is fixed).
+const CSR_COL_BLOCK: usize = 8;
 
 /// A triplet (COO) accumulator for building [`Csr`] matrices.
 ///
@@ -154,17 +161,28 @@ impl Csr {
     ///
     /// Panics on dimension mismatch.
     pub fn matvec(&self, x: &[f64]) -> Vec<f64> {
-        assert_eq!(x.len(), self.n_cols, "csr matvec dimension mismatch");
         let mut y = vec![0.0; self.n_rows];
-        for i in 0..self.n_rows {
+        self.matvec_into(x, &mut y);
+        y
+    }
+
+    /// Computes `y = A x` into an existing buffer (overwritten), with no
+    /// allocation.
+    ///
+    /// # Panics
+    ///
+    /// Panics on dimension mismatch.
+    pub fn matvec_into(&self, x: &[f64], y: &mut [f64]) {
+        assert_eq!(x.len(), self.n_cols, "csr matvec dimension mismatch");
+        assert_eq!(y.len(), self.n_rows, "csr matvec output length mismatch");
+        for (i, yi) in y.iter_mut().enumerate() {
             let (cols, vals) = self.row(i);
             let mut acc = 0.0;
             for (c, v) in cols.iter().zip(vals) {
                 acc += v * x[*c as usize];
             }
-            y[i] = acc;
+            *yi = acc;
         }
-        y
     }
 
     /// Computes `y = A' x`.
@@ -173,8 +191,21 @@ impl Csr {
     ///
     /// Panics on dimension mismatch.
     pub fn matvec_t(&self, x: &[f64]) -> Vec<f64> {
-        assert_eq!(x.len(), self.n_rows, "csr matvec_t dimension mismatch");
         let mut y = vec![0.0; self.n_cols];
+        self.matvec_t_into(x, &mut y);
+        y
+    }
+
+    /// Computes `y = A' x` into an existing buffer (overwritten), with no
+    /// allocation.
+    ///
+    /// # Panics
+    ///
+    /// Panics on dimension mismatch.
+    pub fn matvec_t_into(&self, x: &[f64], y: &mut [f64]) {
+        assert_eq!(x.len(), self.n_rows, "csr matvec_t dimension mismatch");
+        assert_eq!(y.len(), self.n_cols, "csr matvec_t output length mismatch");
+        y.fill(0.0);
         for i in 0..self.n_rows {
             let xi = x[i];
             if xi == 0.0 {
@@ -185,6 +216,101 @@ impl Csr {
                 y[*c as usize] += v * xi;
             }
         }
+    }
+
+    /// Dense-block product `Y = A * X` (CSR times dense, column-major
+    /// blocks), resizing `y` to `n_rows x x.n_cols()` in place.
+    ///
+    /// The win over `x.n_cols()` separate [`matvec`](Self::matvec) calls is
+    /// that each CSR row (indices and values) is streamed from memory once
+    /// per *panel* of right-hand-side columns instead of once per column —
+    /// the sparse mirror of the k-panel blocking in
+    /// [`Mat::matmul`]. Within a column, terms accumulate
+    /// in exactly the row-nonzero order of [`matvec`](Self::matvec), so
+    /// every output column is bit-identical to the per-vector apply.
+    ///
+    /// # Panics
+    ///
+    /// Panics on dimension mismatch.
+    pub fn matmul_dense_into(&self, x: &Mat, y: &mut Mat) {
+        assert_eq!(x.n_rows(), self.n_cols, "csr matmul_dense dimension mismatch");
+        y.resize(self.n_rows, x.n_cols());
+        let b = x.n_cols();
+        let mut j0 = 0;
+        while j0 < b {
+            let jw = CSR_COL_BLOCK.min(b - j0);
+            for i in 0..self.n_rows {
+                let (cols, vals) = self.row(i);
+                let mut acc = [0.0f64; CSR_COL_BLOCK];
+                for (c, v) in cols.iter().zip(vals) {
+                    let c = *c as usize;
+                    for (jj, a) in acc[..jw].iter_mut().enumerate() {
+                        *a += v * x[(c, j0 + jj)];
+                    }
+                }
+                for (jj, a) in acc[..jw].iter().enumerate() {
+                    y[(i, j0 + jj)] = *a;
+                }
+            }
+            j0 += jw;
+        }
+    }
+
+    /// Allocating convenience over
+    /// [`matmul_dense_into`](Self::matmul_dense_into).
+    pub fn matmul_dense(&self, x: &Mat) -> Mat {
+        let mut y = Mat::zeros(0, 0);
+        self.matmul_dense_into(x, &mut y);
+        y
+    }
+
+    /// Dense-block transpose product `Y = A' * X`, resizing `y` to
+    /// `n_cols x x.n_cols()` in place.
+    ///
+    /// Like [`matmul_dense_into`](Self::matmul_dense_into), rows are
+    /// streamed once per column panel, and each output column scatters
+    /// contributions in exactly the order of
+    /// [`matvec_t`](Self::matvec_t) (including its skip of zero inputs),
+    /// so blocked transpose applies are bit-identical to per-vector ones.
+    ///
+    /// # Panics
+    ///
+    /// Panics on dimension mismatch.
+    pub fn matmul_t_dense_into(&self, x: &Mat, y: &mut Mat) {
+        assert_eq!(x.n_rows(), self.n_rows, "csr matmul_t_dense dimension mismatch");
+        y.resize(self.n_cols, x.n_cols());
+        for yj in y.cols_mut() {
+            yj.fill(0.0);
+        }
+        let b = x.n_cols();
+        let mut j0 = 0;
+        while j0 < b {
+            let jw = CSR_COL_BLOCK.min(b - j0);
+            for i in 0..self.n_rows {
+                let (cols, vals) = self.row(i);
+                if cols.is_empty() {
+                    continue;
+                }
+                for jj in 0..jw {
+                    let xi = x[(i, j0 + jj)];
+                    if xi == 0.0 {
+                        continue;
+                    }
+                    let yj = y.col_mut(j0 + jj);
+                    for (c, v) in cols.iter().zip(vals) {
+                        yj[*c as usize] += v * xi;
+                    }
+                }
+            }
+            j0 += jw;
+        }
+    }
+
+    /// Allocating convenience over
+    /// [`matmul_t_dense_into`](Self::matmul_t_dense_into).
+    pub fn matmul_t_dense(&self, x: &Mat) -> Mat {
+        let mut y = Mat::zeros(0, 0);
+        self.matmul_t_dense_into(x, &mut y);
         y
     }
 
@@ -237,6 +363,70 @@ impl Csr {
             let (cols, vals) = self.row(i);
             cols.iter().zip(vals).map(move |(c, v)| (i, *c as usize, *v))
         })
+    }
+}
+
+/// Accumulates entry estimates for a symmetric sparse matrix, averaging
+/// duplicates.
+///
+/// Assembly pipelines often compute some entries more than once (once per
+/// direction of a symmetric pair, or from overlapping groups of estimates);
+/// averaging the estimates and then symmetrizing `(A + A')/2` turns them
+/// into one consistent symmetric [`Csr`]. It sits here next to
+/// [`Triplets`] because it is generic sparse assembly — in the substrate
+/// pipelines it implements the thesis's "filled in by symmetry of G" step,
+/// but nothing about it is specific to basis representations.
+#[derive(Clone, Debug, Default)]
+pub struct SymmetricAccumulator {
+    map: HashMap<(u32, u32), (f64, u32)>,
+}
+
+impl SymmetricAccumulator {
+    /// Creates an empty accumulator.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one estimate of entry `(row, col)`.
+    pub fn add(&mut self, row: usize, col: usize, value: f64) {
+        let e = self.map.entry((row as u32, col as u32)).or_insert((0.0, 0));
+        e.0 += value;
+        e.1 += 1;
+    }
+
+    /// Number of distinct `(row, col)` positions recorded.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Whether nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// Builds the symmetrized `n x n` CSR matrix: duplicates averaged, then
+    /// each unordered pair `(i, j)` set to the mean of its two directions.
+    pub fn to_symmetric_csr(&self, n: usize) -> Csr {
+        let mut sym: HashMap<(u32, u32), (f64, u32)> = HashMap::new();
+        for (&(r, c), &(sum, cnt)) in &self.map {
+            let v = sum / cnt as f64;
+            let key = if r <= c { (r, c) } else { (c, r) };
+            let e = sym.entry(key).or_insert((0.0, 0));
+            e.0 += v;
+            e.1 += 1;
+        }
+        let mut t = Triplets::new(n, n);
+        for (&(r, c), &(sum, cnt)) in &sym {
+            let v = sum / cnt as f64;
+            if v == 0.0 {
+                continue;
+            }
+            t.push(r as usize, c as usize, v);
+            if r != c {
+                t.push(c as usize, r as usize, v);
+            }
+        }
+        t.to_csr()
     }
 }
 
@@ -293,5 +483,48 @@ mod tests {
         let b = a.drop_below(0.4);
         assert_eq!(b.nnz(), 3);
         assert_eq!(b.to_dense()[(1, 0)], 0.0);
+    }
+
+    #[test]
+    fn matmul_dense_matches_per_column_matvec() {
+        // wider than one column panel, with empty rows and zero inputs
+        let mut t = Triplets::new(5, 4);
+        for (i, j, v) in [(0, 0, 2.0), (0, 3, -1.0), (2, 1, 3.5), (4, 0, 0.25), (4, 2, -4.0)] {
+            t.push(i, j, v);
+        }
+        let a = t.to_csr();
+        let x = Mat::from_fn(4, 11, |i, j| if (i + j) % 3 == 0 { 0.0 } else { (i * 7 + j) as f64 });
+        let y = a.matmul_dense(&x);
+        for j in 0..x.n_cols() {
+            let serial = a.matvec(x.col(j));
+            for i in 0..a.n_rows() {
+                assert_eq!(y[(i, j)], serial[i], "blocked apply must be bit-identical");
+            }
+        }
+        // transpose kernel against per-vector matvec_t
+        let xt = Mat::from_fn(5, 9, |i, j| ((i * 3 + j) % 5) as f64 - 2.0);
+        let yt = a.matmul_t_dense(&xt);
+        for j in 0..xt.n_cols() {
+            let serial = a.matvec_t(xt.col(j));
+            for i in 0..a.n_cols() {
+                assert_eq!(yt[(i, j)], serial[i]);
+            }
+        }
+    }
+
+    #[test]
+    fn symmetric_accumulator_averages_and_symmetrizes() {
+        let mut acc = SymmetricAccumulator::new();
+        assert!(acc.is_empty());
+        acc.add(0, 1, 2.0);
+        acc.add(0, 1, 4.0); // duplicate: averages to 3.0
+        acc.add(1, 0, 5.0); // opposite direction: pair mean (3+5)/2 = 4
+        acc.add(2, 2, 7.0);
+        assert_eq!(acc.len(), 3);
+        let m = acc.to_symmetric_csr(3).to_dense();
+        assert_eq!(m[(0, 1)], 4.0);
+        assert_eq!(m[(1, 0)], 4.0);
+        assert_eq!(m[(2, 2)], 7.0);
+        assert_eq!(m[(0, 0)], 0.0);
     }
 }

@@ -9,7 +9,7 @@
 use std::fmt::Write as _;
 use std::time::Instant;
 
-use subsparse_linalg::Mat;
+use subsparse_linalg::{ApplyWorkspace, CouplingOp, Mat};
 use subsparse_substrate::{solver::extract_columns, SubstrateSolver};
 
 use crate::metrics::{frac_above, rel_fro_error};
@@ -26,11 +26,14 @@ pub struct EvalOptions {
     pub sample_cols: usize,
     /// Iterations for the apply-time measurement.
     pub apply_iters: usize,
+    /// Column count of the blocked apply-time measurement (the serving
+    /// workload of a multi-excitation circuit simulation).
+    pub apply_block: usize,
 }
 
 impl Default for EvalOptions {
     fn default() -> Self {
-        EvalOptions { max_dense_n: 2048, sample_cols: 64, apply_iters: 16 }
+        EvalOptions { max_dense_n: 2048, sample_cols: 64, apply_iters: 16, apply_block: 16 }
     }
 }
 
@@ -56,8 +59,16 @@ pub struct MethodReport {
     /// Fraction of graded entries off by more than 10% (the thesis's
     /// thresholded-accuracy column).
     pub frac_above_10pct: f64,
-    /// Mean wall-clock nanoseconds per `Q (Gw (Q' v))` apply.
+    /// Mean wall-clock nanoseconds per single-vector apply, measured
+    /// through [`CouplingOp::apply_into`] with a warm workspace (zero
+    /// steady-state allocation — the serving path, not the convenience
+    /// path).
     pub apply_ns: f64,
+    /// Mean wall-clock nanoseconds *per vector* of a blocked apply
+    /// ([`CouplingOp::apply_block_into`] on
+    /// [`EvalOptions::apply_block`]-wide panels); at or below
+    /// [`apply_ns`](Self::apply_ns) whenever blocking pays.
+    pub apply_block_ns: f64,
     /// Wall-clock milliseconds spent building the representation.
     pub build_ms: f64,
     /// How many columns were graded (`n` when graded densely).
@@ -68,7 +79,7 @@ impl MethodReport {
     /// The aligned header matching [`row`](Self::row).
     pub fn header() -> String {
         format!(
-            "{:<10} {:>6} {:>7} {:>8} {:>9} {:>10} {:>10} {:>8} {:>10} {:>9}",
+            "{:<10} {:>6} {:>7} {:>8} {:>9} {:>10} {:>10} {:>8} {:>10} {:>10} {:>9}",
             "method",
             "n",
             "solves",
@@ -78,6 +89,7 @@ impl MethodReport {
             "col err",
             ">10%",
             "apply",
+            "blk/vec",
             "build"
         )
     }
@@ -87,7 +99,7 @@ impl MethodReport {
         let mut s = String::new();
         write!(
             s,
-            "{:<10} {:>6} {:>7} {:>8.1} {:>9.4} {:>10.3e} {:>10.3e} {:>7.1}% {:>10} {:>7.0}ms",
+            "{:<10} {:>6} {:>7} {:>8.1} {:>9.4} {:>10.3e} {:>10.3e} {:>7.1}% {:>10} {:>10} {:>7.0}ms",
             self.method,
             self.n,
             self.solves,
@@ -97,6 +109,7 @@ impl MethodReport {
             self.max_col_error,
             100.0 * self.frac_above_10pct,
             format_ns(self.apply_ns),
+            format_ns(self.apply_block_ns),
             self.build_ms,
         )
         .unwrap();
@@ -153,13 +166,7 @@ pub fn evaluate_columns(
         }
     }
 
-    // apply-time on a fixed deterministic vector
-    let v: Vec<f64> = (0..n).map(|i| ((i * 37) % 101) as f64 / 101.0 - 0.5).collect();
-    let t0 = Instant::now();
-    for _ in 0..opts.apply_iters.max(1) {
-        std::hint::black_box(outcome.rep.apply(std::hint::black_box(&v)));
-    }
-    let apply_ns = t0.elapsed().as_nanos() as f64 / opts.apply_iters.max(1) as f64;
+    let (apply_ns, apply_block_ns) = time_applies(&outcome.rep, opts);
 
     MethodReport {
         method: method.to_string(),
@@ -172,9 +179,45 @@ pub fn evaluate_columns(
         max_col_error,
         frac_above_10pct: frac_above(reference, &approx, 0.10),
         apply_ns,
+        apply_block_ns,
         build_ms: outcome.build_time.as_secs_f64() * 1e3,
         graded_cols: cols.len(),
     }
+}
+
+/// Times the serving paths of any [`CouplingOp`] on deterministic inputs:
+/// single-vector applies and [`EvalOptions::apply_block`]-wide blocked
+/// applies, both with a warm workspace (buffers grown once before the
+/// clock starts, so the measurement is of serving, not of allocation).
+/// Returns `(ns per apply, ns per vector of a blocked apply)`.
+pub fn time_applies(op: &dyn CouplingOp, opts: &EvalOptions) -> (f64, f64) {
+    let n = op.n();
+    let iters = opts.apply_iters.max(1);
+    let block = opts.apply_block.max(1);
+    let v: Vec<f64> = (0..n).map(|i| ((i * 37) % 101) as f64 / 101.0 - 0.5).collect();
+    let xb = Mat::from_fn(n, block, |i, j| ((i * 37 + j * 11) % 101) as f64 / 101.0 - 0.5);
+    let mut y = vec![0.0; n];
+    let mut yb = Mat::zeros(0, 0);
+    let mut ws = ApplyWorkspace::new();
+    // warm-up: grow every buffer before the clock starts
+    op.apply_into(&v, &mut y, &mut ws);
+    op.apply_block_into(&xb, &mut yb, &mut ws);
+
+    let t0 = Instant::now();
+    for _ in 0..iters {
+        op.apply_into(std::hint::black_box(&v), &mut y, &mut ws);
+        std::hint::black_box(&y);
+    }
+    let apply_ns = t0.elapsed().as_nanos() as f64 / iters as f64;
+
+    let block_iters = (iters / block).max(1);
+    let t0 = Instant::now();
+    for _ in 0..block_iters {
+        op.apply_block_into(std::hint::black_box(&xb), &mut yb, &mut ws);
+        std::hint::black_box(&yb);
+    }
+    let apply_block_ns = t0.elapsed().as_nanos() as f64 / (block_iters * block) as f64;
+    (apply_ns, apply_block_ns)
 }
 
 /// Grades an outcome against a precomputed dense reference `G`.
@@ -227,6 +270,9 @@ mod tests {
         assert!(report.rel_fro_error < 0.1, "{}", report.rel_fro_error);
         assert!(report.max_col_error >= report.rel_fro_error * 0.1);
         assert!(report.nnz_ratio > 0.0 && report.nnz_ratio < 1.1);
+        // both serving paths were timed
+        assert!(report.apply_ns > 0.0);
+        assert!(report.apply_block_ns > 0.0);
         // header and row align on column count
         assert!(!MethodReport::header().is_empty());
         assert!(!report.row().is_empty());

@@ -19,17 +19,25 @@
 //! cargo run --release --example circuit_transient
 //! ```
 
+use std::cell::RefCell;
+
 use subsparse::extract_lowrank;
 use subsparse::hier::BasisRep;
 use subsparse::layout::generators;
 use subsparse::linalg::cg::{cg, LinOp};
 use subsparse::lowrank::LowRankOptions;
 use subsparse::substrate::{EigenSolver, EigenSolverConfig, Substrate};
+use subsparse::{ApplyWorkspace, CouplingOp};
 
 /// The backward-Euler system matrix `(C/dt + 1/R) I + G` as an operator.
+///
+/// `G x` is served through `CouplingOp::apply_into` with a reusable
+/// workspace, so the thousands of applies inside the CG iterations of a
+/// transient run allocate nothing after the first.
 struct TransientOp<'a> {
     rep: &'a BasisRep,
     diag: f64,
+    ws: RefCell<ApplyWorkspace>,
 }
 
 impl LinOp for TransientOp<'_> {
@@ -37,9 +45,9 @@ impl LinOp for TransientOp<'_> {
         self.rep.n()
     }
     fn apply(&self, x: &[f64], y: &mut [f64]) {
-        let gv = self.rep.apply(x);
+        self.rep.apply_into(x, y, &mut self.ws.borrow_mut());
         for i in 0..x.len() {
-            y[i] = self.diag * x[i] + gv[i];
+            y[i] += self.diag * x[i];
         }
     }
 }
@@ -68,7 +76,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let dt = 0.01;
     let steps = 60;
     let diag = c / dt + 1.0 / r;
-    let op = TransientOp { rep: &x.rep, diag };
+    let op = TransientOp { rep: &x.rep, diag, ws: RefCell::new(ApplyWorkspace::new()) };
 
     let digital: Vec<usize> = (0..n).filter(|i| i % 16 < 8).collect();
     let analog_probe = 15 * 16 + 15; // far corner analog node
