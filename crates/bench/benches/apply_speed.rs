@@ -1,11 +1,17 @@
-//! The `O(n log n)`-apply claim, served: single-vector versus blocked
-//! apply for every `CouplingOp` representation (quick variant; run the
-//! `apply_speed` binary for the full sizes and the JSON emission).
+//! The sparse-apply claim, served: single-vector versus blocked apply
+//! for every `CouplingOp` representation, on both wavelet serving paths
+//! (quick variant; run the `apply_speed` binary for the full sizes and
+//! the JSON emission).
 
-use subsparse_bench::apply_speed::{format_rows, run_apply_speed};
+use subsparse_bench::apply_speed::{format_rows, run_apply_speed, FWT_CSR_TOL};
 
 fn main() {
-    let rows = run_apply_speed(true);
-    print!("{}", format_rows(&rows));
-    assert!(rows.iter().all(|r| r.bit_equal), "a blocked apply diverged");
+    let report = run_apply_speed(true);
+    print!("{}", format_rows(&report.rows));
+    assert!(report.rows.iter().all(|r| r.bit_equal), "a blocked apply diverged");
+    assert!(
+        report.fwt_vs_csr_rel_err <= FWT_CSR_TOL,
+        "wavelet serving paths diverged: {:.3e}",
+        report.fwt_vs_csr_rel_err
+    );
 }

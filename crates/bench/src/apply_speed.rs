@@ -3,13 +3,25 @@
 //!
 //! The paper's payoff is the *apply*: the sparse representation only
 //! matters because a circuit simulator applies it thousands of times.
-//! This runner times every [`CouplingOp`] representation — dense `G`, the
-//! wavelet and low-rank `Q Gw Q'` forms (plus the thresholded `Gwt`), and
-//! a factored low-rank `U S V'` — at several block widths through the
-//! zero-alloc serving path, verifies that every blocked apply is
-//! bit-identical to the looped per-vector apply, and reports nanoseconds
-//! per vector. The `apply_speed` binary emits the rows as
-//! `BENCH_apply_speed.json`, the perf-trajectory file CI tracks.
+//! This runner times every [`CouplingOp`] representation at several block
+//! widths through the zero-alloc serving path:
+//!
+//! * `dense` — the extracted `G` itself;
+//! * `wavelet` / `wavelet_fwt` — the wavelet *serving* model (the
+//!   thresholded `Gwt` of thesis §3.7, sparsity ~6x the raw extraction)
+//!   on its two serving paths: the explicit-CSR fallback and the
+//!   tree-structured fast wavelet transform;
+//! * `wavelet_raw` — the unthresholded `Gws` on the explicit-CSR path
+//!   (the historical trajectory row);
+//! * `lowrank` / `lowrank_gwt` — the low-rank `Q Gw Q'` form, raw and
+//!   thresholded;
+//! * `factored` — a factored low-rank `U S V'`.
+//!
+//! It verifies that every blocked apply is bit-identical to the looped
+//! per-vector apply **and** that the two wavelet serving paths agree to
+//! ≤ [`FWT_CSR_TOL`] relative error, and reports nanoseconds per vector.
+//! The `apply_speed` binary emits the rows as `BENCH_apply_speed.json`,
+//! the perf-trajectory file CI tracks.
 
 use std::fmt::Write as _;
 
@@ -26,11 +38,18 @@ use crate::timing;
 /// Block widths measured per representation (1 = the looped baseline).
 pub const BLOCK_WIDTHS: [usize; 3] = [1, 8, 32];
 
+/// Largest relative 2-norm divergence tolerated between the fast-wavelet-
+/// transform apply and the explicit-CSR apply of the same representation
+/// (they compute the same orthogonal product with different association,
+/// so they agree to rounding; anything past this is a real bug).
+pub const FWT_CSR_TOL: f64 = 1e-12;
+
 /// One (representation, n, block-width) measurement.
 #[derive(Clone, Debug)]
 pub struct ApplySpeedRow {
-    /// Representation name (`dense`, `wavelet`, `lowrank`, `lowrank_gwt`,
-    /// `factored`).
+    /// Representation name (`dense`, `wavelet`, `wavelet_fwt`,
+    /// `wavelet_raw`, `lowrank`, `lowrank_gwt`, `factored` — see the
+    /// module docs for what each serves).
     pub method: String,
     /// Contact count.
     pub n: usize,
@@ -95,13 +114,51 @@ fn bench_op(method: &str, n: usize, op: &dyn CouplingOp, rows: &mut Vec<ApplySpe
     }
 }
 
+/// The full comparison's result: the timing rows plus the worst observed
+/// divergence between the two wavelet serving paths (gated against
+/// [`FWT_CSR_TOL`] by the binary and CI).
+#[derive(Clone, Debug)]
+pub struct ApplySpeedReport {
+    /// One row per (representation, n, block width).
+    pub rows: Vec<ApplySpeedRow>,
+    /// Largest relative 2-norm difference between `wavelet_fwt` and
+    /// `wavelet` applies of the same vectors, over every n measured.
+    pub fwt_vs_csr_rel_err: f64,
+}
+
+/// Largest relative 2-norm divergence between the two paths' applies of
+/// a few deterministic vectors.
+fn fwt_vs_csr_err(fast: &dyn CouplingOp, slow: &dyn CouplingOp, n: usize) -> f64 {
+    let mut ws = ApplyWorkspace::new();
+    let mut ya = vec![0.0; n];
+    let mut yb = vec![0.0; n];
+    let mut worst = 0.0_f64;
+    for seed in 0..3usize {
+        let x: Vec<f64> =
+            (0..n).map(|i| ((i * 37 + seed * 13) % 101) as f64 / 101.0 - 0.5).collect();
+        fast.apply_into(&x, &mut ya, &mut ws);
+        slow.apply_into(&x, &mut yb, &mut ws);
+        let mut diff2 = 0.0;
+        let mut ref2 = 0.0;
+        for (a, b) in ya.iter().zip(&yb) {
+            diff2 += (a - b) * (a - b);
+            ref2 += b * b;
+        }
+        if ref2 > 0.0 {
+            worst = worst.max((diff2 / ref2).sqrt());
+        }
+    }
+    worst
+}
+
 /// Runs the full comparison: every representation at every block width,
 /// on a quick grid (64 contacts) or the full sizes (256 and 1024 — the
-/// regime where blocking must win for the `O(n log n)` serving claim to
-/// cash out).
-pub fn run_apply_speed(quick: bool) -> Vec<ApplySpeedRow> {
+/// regime where the fast transform must win for the sparse serving claim
+/// to cash out).
+pub fn run_apply_speed(quick: bool) -> ApplySpeedReport {
     let sides: &[usize] = if quick { &[8] } else { &[16, 32] };
     let mut rows = Vec::new();
+    let mut fwt_vs_csr_rel_err = 0.0_f64;
     for &k in sides {
         let layout = generators::regular_grid(128.0, k, 2.0);
         let n = layout.n_contacts();
@@ -109,6 +166,19 @@ pub fn run_apply_speed(quick: bool) -> Vec<ApplySpeedRow> {
         let levels = if k <= 8 { 2 } else { 3 };
         timing::group(&format!("apply throughput ({n} contacts)"));
         let wavelet = extract_wavelet(&dense, &layout, levels, 2).expect("wavelet extraction");
+        // the wavelet *serving* model is the thresholded `Gwt` (thesis
+        // §3.7: threshold picked so sparsity is ~6x the raw extraction);
+        // `wavelet`/`wavelet_fwt` measure that model on its two serving
+        // paths, `wavelet_raw` keeps the unthresholded `Gws` trajectory
+        let (wavelet_gwt, _) =
+            wavelet.rep.thresholded_to_sparsity(wavelet.rep.sparsity_factor() * 6.0);
+        let wavelet_gwt_csr = wavelet_gwt.without_fwt();
+        let wavelet_raw_csr = wavelet.rep.without_fwt();
+        // agreement gate on both the raw and the thresholded model
+        fwt_vs_csr_rel_err =
+            fwt_vs_csr_rel_err.max(fwt_vs_csr_err(&wavelet.rep, &wavelet_raw_csr, n));
+        fwt_vs_csr_rel_err =
+            fwt_vs_csr_rel_err.max(fwt_vs_csr_err(&wavelet_gwt, &wavelet_gwt_csr, n));
         let (lowrank, _) =
             extract_lowrank(&dense, &layout, levels, &LowRankOptions::default()).expect("low-rank");
         let (thresh, _) = lowrank.rep.thresholded_to_sparsity(lowrank.rep.sparsity_factor() * 6.0);
@@ -122,12 +192,14 @@ pub fn run_apply_speed(quick: bool) -> Vec<ApplySpeedRow> {
         let factored = LowRankOp::new(u, s, v);
 
         bench_op("dense", n, dense.matrix(), &mut rows);
-        bench_op("wavelet", n, &wavelet.rep, &mut rows);
+        bench_op("wavelet_raw", n, &wavelet_raw_csr, &mut rows);
+        bench_op("wavelet", n, &wavelet_gwt_csr, &mut rows);
+        bench_op("wavelet_fwt", n, &wavelet_gwt, &mut rows);
         bench_op("lowrank", n, &lowrank.rep, &mut rows);
         bench_op("lowrank_gwt", n, &thresh, &mut rows);
         bench_op("factored", n, &factored, &mut rows);
     }
-    rows
+    ApplySpeedReport { rows, fwt_vs_csr_rel_err }
 }
 
 /// Formats rows as an aligned summary table: ns/vector per block width,
@@ -173,12 +245,21 @@ mod tests {
 
     #[test]
     fn quick_rows_cover_methods_and_blocks() {
-        let rows = run_apply_speed(true);
-        assert_eq!(rows.len(), 5 * BLOCK_WIDTHS.len());
+        let report = run_apply_speed(true);
+        let rows = &report.rows;
+        assert_eq!(rows.len(), 7 * BLOCK_WIDTHS.len());
         assert!(rows.iter().all(|r| r.bit_equal), "a blocked apply diverged");
         assert!(rows.iter().all(|r| r.ns_per_vector > 0.0));
-        let json = rows_json(&rows);
-        assert!(json.contains("\"method\":\"wavelet\"") && json.contains("\"block\":32"));
-        assert!(format_rows(&rows).contains("dense"));
+        assert!(
+            report.fwt_vs_csr_rel_err <= FWT_CSR_TOL,
+            "wavelet serving paths diverged: {:.3e}",
+            report.fwt_vs_csr_rel_err
+        );
+        let json = rows_json(rows);
+        assert!(json.contains("\"method\":\"wavelet_fwt\"") && json.contains("\"block\":32"));
+        assert!(format_rows(rows).contains("dense"));
+        // the factored transform must store less than the flat-Q rows
+        let nnz_of = |m: &str| rows.iter().find(|r| r.method == m).unwrap().nnz;
+        assert!(nnz_of("wavelet_fwt") < nnz_of("wavelet"));
     }
 }

@@ -1,5 +1,7 @@
 //! `apply_speed` — single-vector vs blocked serving throughput for every
-//! `CouplingOp` representation.
+//! `CouplingOp` representation, including both wavelet serving paths
+//! (`wavelet_fwt`: tree-structured fast transform; `wavelet`: the
+//! explicit-CSR fallback).
 //!
 //! ```text
 //! cargo run --release -p subsparse-bench --bin apply_speed -- [--quick] [--json]
@@ -8,29 +10,43 @@
 //! `--json` additionally writes `BENCH_apply_speed.json`
 //! (method × n × block-width → ns/vector), the perf-trajectory file CI
 //! tracks. Exits nonzero if any blocked apply fails to bit-agree with its
-//! looped counterpart, so CI can use it as a smoke test.
+//! looped counterpart, **or** if the fast-wavelet-transform path diverges
+//! from the explicit-CSR path beyond the `FWT_CSR_TOL` tolerance, so CI
+//! can use it as a smoke test for both contracts.
 
 use std::process::ExitCode;
 
-use subsparse_bench::apply_speed::{format_rows, rows_json, run_apply_speed};
+use subsparse_bench::apply_speed::{format_rows, rows_json, run_apply_speed, FWT_CSR_TOL};
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let quick = args.iter().any(|a| a == "--quick");
     let json = args.iter().any(|a| a == "--json");
 
-    let rows = run_apply_speed(quick);
-    print!("{}", format_rows(&rows));
+    let report = run_apply_speed(quick);
+    print!("{}", format_rows(&report.rows));
+    println!(
+        "\nfwt vs explicit-csr wavelet apply: max rel err {:.3e} (tolerance {FWT_CSR_TOL:.0e})",
+        report.fwt_vs_csr_rel_err
+    );
     if json {
         let path = "BENCH_apply_speed.json";
-        if let Err(e) = std::fs::write(path, rows_json(&rows)) {
+        if let Err(e) = std::fs::write(path, rows_json(&report.rows)) {
             eprintln!("error: cannot write {path}: {e}");
             return ExitCode::FAILURE;
         }
         println!("wrote {path}");
     }
-    if rows.iter().any(|r| !r.bit_equal) {
+    if report.rows.iter().any(|r| !r.bit_equal) {
         eprintln!("error: a blocked apply diverged from the per-vector apply");
+        return ExitCode::FAILURE;
+    }
+    if report.fwt_vs_csr_rel_err > FWT_CSR_TOL {
+        eprintln!(
+            "error: fast-wavelet-transform apply diverged from the explicit-CSR apply \
+             ({:.3e} > {FWT_CSR_TOL:.0e})",
+            report.fwt_vs_csr_rel_err
+        );
         return ExitCode::FAILURE;
     }
     ExitCode::SUCCESS

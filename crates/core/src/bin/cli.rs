@@ -47,14 +47,15 @@ USAGE:
   subsparse-cli sparsify [--method NAME|all] [options]
   subsparse-cli info     --model STEM
   subsparse-cli apply    --model STEM --contact K [--volts V]
-                         [--repeat R] [--block B]
+                         [--repeat R] [--block B] [--path P]
   subsparse-cli help
 
 EXTRACT OPTIONS:
   --layout FILE       ASCII-art layout (one char per cell; runs of the
                       same char = one contact)
   --extent A          surface side length (default 128)
-  --out STEM          write STEM.q.mtx and STEM.gw.mtx
+  --out STEM          write STEM.q.mtx and STEM.gw.mtx (plus STEM.fwt,
+                      the fast-transform serving section, for wavelet)
   --method M          lowrank (default) | wavelet
   --levels N          quadtree depth (default: auto)
   --substrate SPEC    comma list thickness:conductivity, top first
@@ -82,6 +83,7 @@ SPARSIFY OPTIONS (run registered methods side by side, shared metrics):
                       (default 1; 0 = one per CPU)
   --batch B           max RHS columns per batched solve (default 32)
   --out STEM          save the (single) method's model as STEM.{q,gw}.mtx
+                      (+ STEM.fwt for the wavelet method)
 
 APPLY OPTIONS (serving):
   --contact K         excited contact index (required)
@@ -91,6 +93,9 @@ APPLY OPTIONS (serving):
                       the currents once)
   --block B           additionally time blocked applies, B vectors per
                       panel, and print the per-vector speedup (default 1)
+  --path P            serving path: auto (default: fast wavelet transform
+                      when the model carries one) | fwt (require it) |
+                      csr (force the explicit-CSR fallback)
 ";
 
 fn run(args: &[String]) -> Result<(), String> {
@@ -251,7 +256,16 @@ fn cmd_extract(args: &[String]) -> Result<(), String> {
         }
     };
     rep.save(&out).map_err(|e| format!("saving model: {e}"))?;
-    println!("wrote {}.q.mtx and {}.gw.mtx", out.display(), out.display());
+    if rep.fwt().is_some() {
+        println!(
+            "wrote {}.q.mtx, {}.gw.mtx and {}.fwt (fast-transform serving path)",
+            out.display(),
+            out.display(),
+            out.display()
+        );
+    } else {
+        println!("wrote {}.q.mtx and {}.gw.mtx", out.display(), out.display());
+    }
     Ok(())
 }
 
@@ -363,6 +377,19 @@ fn cmd_apply(args: &[String]) -> Result<(), String> {
     let repeat: usize = opts.get_parsed("repeat", 1)?.max(1);
     let block: usize = opts.get_parsed("block", 1)?.max(1);
     let rep = BasisRep::load(&stem).map_err(|e| format!("loading model: {e}"))?;
+    let rep = match opts.get("path").unwrap_or("auto") {
+        "auto" => rep,
+        "csr" => rep.without_fwt(),
+        "fwt" => {
+            if rep.fwt().is_none() {
+                return Err("--path fwt, but the model carries no fast-transform section \
+                     (re-extract and save it with a current build)"
+                    .into());
+            }
+            rep
+        }
+        other => return Err(format!("unknown --path {other:?} (auto | fwt | csr)")),
+    };
     let n = CouplingOp::n(&rep);
     if contact >= n {
         return Err(format!("contact {contact} out of range (model has {n})"));

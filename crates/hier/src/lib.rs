@@ -9,10 +9,15 @@
 //! * [`rep`] — the `G ~ Q Gw Q'` representation both methods produce, with
 //!   thresholding helpers (§3.7, §4.6), served through the
 //!   [`CouplingOp`](subsparse_linalg::CouplingOp) trait.
+//! * [`fwt`] — the fast wavelet transform: the tree-structured `O(n·p)`
+//!   form of the change of basis, the serving path that makes the sparse
+//!   representation actually faster to apply than the dense matrix.
 
+pub mod fwt;
 pub mod moments;
 pub mod rep;
 pub mod tree;
 
+pub use fwt::{FastWaveletTransform, FwtLevel, FwtNode};
 pub use rep::{BasisRep, SymmetricAccumulator, FORMAT_VERSION};
 pub use tree::{HierError, Quadtree, Square};

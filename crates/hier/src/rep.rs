@@ -3,14 +3,29 @@
 //! Both the wavelet method (thesis Ch. 3) and the low-rank method (Ch. 4)
 //! produce a sparse orthogonal change of basis `Q` and a sparse transformed
 //! matrix `Gw`. The represented operator serves through the
-//! [`CouplingOp`] trait: a single apply is the fused pipeline
-//! `Q' → Gw → Q` over two reusable workspace buffers (zero allocation in
-//! steady state), and a *blocked* apply pushes a whole panel of vectors
-//! through the same three factors so each stored nonzero is streamed from
-//! memory once per panel instead of once per vector. Thresholding `Gw`
-//! trades accuracy for more sparsity (the `Gwt` of the thesis tables).
+//! [`CouplingOp`] trait, with two interchangeable basis-apply paths:
+//!
+//! * the **fast wavelet transform** path
+//!   ([`BasisRep::with_fwt`]) — the `Q'`/`Q` factors applied level by
+//!   level through the quadtree as small per-square dense blocks
+//!   ([`FastWaveletTransform`]), `O(n·p)` per vector; the default for
+//!   wavelet extractions, and the path that makes the sparse model faster
+//!   to serve than the dense matrix;
+//! * the **explicit-CSR fallback** ([`BasisRep::new`]) — generic sparse
+//!   `Q' → Gw → Q` traversal, with the transpose `Q'` precomputed and
+//!   cached so both directions stream row-major; the only choice for
+//!   non-tree bases (low-rank, the baselines) and for legacy model files.
+//!
+//! Either way a single apply runs over reusable workspace buffers (zero
+//! allocation in steady state), and a *blocked* apply pushes a whole
+//! panel of vectors through the same factors so each stored value is
+//! streamed from memory once per panel instead of once per vector.
+//! Thresholding `Gw` trades accuracy for more sparsity (the `Gwt` of the
+//! thesis tables).
 
 use subsparse_linalg::{ApplyWorkspace, CouplingOp, Csr, Mat, Triplets};
+
+use crate::fwt::FastWaveletTransform;
 
 // Generic sparse assembly lives next to `Triplets` in `linalg`; re-exported
 // here because the extraction pipelines historically imported it from this
@@ -21,18 +36,79 @@ pub use subsparse_linalg::SymmetricAccumulator;
 /// model files [`BasisRep::save`] produces. Bump when the on-disk layout
 /// changes; loaders reject files stamped with a newer version instead of
 /// silently misreading them.
-pub const FORMAT_VERSION: u8 = 1;
+///
+/// * format 1 — the two Matrix Market factors `<stem>.q.mtx` /
+///   `<stem>.gw.mtx` (still written for representations without a fast
+///   transform, so old readers keep working on them);
+/// * format 2 — additionally a `<stem>.fwt` side file carrying the block
+///   hierarchy of the [`FastWaveletTransform`] serving path.
+pub const FORMAT_VERSION: u8 = 2;
 
 /// A sparse `G ~ Q Gw Q'` representation.
+///
+/// Construct through [`new`](Self::new) (explicit-CSR serving path) or
+/// [`with_fwt`](Self::with_fwt) (fast-wavelet-transform serving path);
+/// the `q`/`gw` factors stay public for inspection, but mutating them in
+/// place would desynchronize the cached transpose/transform, so derived
+/// representations go through [`thresholded`](Self::thresholded) and
+/// friends instead.
 #[derive(Clone, Debug)]
 pub struct BasisRep {
     /// Orthogonal sparse change-of-basis matrix (columns are basis vectors).
     pub q: Csr,
     /// Transformed (sparsified) conductance matrix.
     pub gw: Csr,
+    /// Cached `Q'`, so the analysis half of the fallback path traverses
+    /// row-major instead of scattering through `matvec_t`.
+    qt: Csr,
+    /// The tree-structured transform, when the basis has one.
+    fwt: Option<FastWaveletTransform>,
 }
 
 impl BasisRep {
+    /// Builds a representation served through the explicit-CSR path,
+    /// caching `Q'` for row-major analysis applies.
+    pub fn new(q: Csr, gw: Csr) -> BasisRep {
+        let qt = q.transpose();
+        BasisRep { q, gw, qt, fwt: None }
+    }
+
+    /// Builds a representation served through the fast wavelet transform:
+    /// `apply` runs `FWT → Gw → FWT'` instead of traversing the explicit
+    /// `Q` factors. The explicit `q` is still stored (exchange format,
+    /// spy plots, fallback).
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `q` is `n x n` with `n` matching both the transform
+    /// and `gw`.
+    pub fn with_fwt(q: Csr, gw: Csr, fwt: FastWaveletTransform) -> BasisRep {
+        assert_eq!(q.n_rows(), q.n_cols(), "fwt serving needs a square Q");
+        assert_eq!(q.n_rows(), fwt.n(), "transform/Q contact count mismatch");
+        assert_eq!(gw.n_rows(), fwt.n(), "transform/Gw dimension mismatch");
+        assert_eq!(gw.n_rows(), gw.n_cols(), "Gw must be square");
+        let qt = q.transpose();
+        BasisRep { q, gw, qt, fwt: Some(fwt) }
+    }
+
+    /// The fast transform, if this representation serves through one.
+    pub fn fwt(&self) -> Option<&FastWaveletTransform> {
+        self.fwt.as_ref()
+    }
+
+    /// A copy pinned to the explicit-CSR serving path (drops the fast
+    /// transform) — the fallback selector for benchmarking and for
+    /// consumers of legacy model files.
+    pub fn without_fwt(&self) -> BasisRep {
+        BasisRep { q: self.q.clone(), gw: self.gw.clone(), qt: self.qt.clone(), fwt: None }
+    }
+
+    /// A copy with the same basis (and serving path) but a different
+    /// transformed matrix — the shared core of the thresholding helpers.
+    fn with_gw(&self, gw: Csr) -> BasisRep {
+        BasisRep { q: self.q.clone(), gw, qt: self.qt.clone(), fwt: self.fwt.clone() }
+    }
+
     /// Number of contacts.
     pub fn n(&self) -> usize {
         self.q.n_rows()
@@ -104,7 +180,7 @@ impl BasisRep {
 
     /// Drops entries of `Gw` with `|value| <= threshold` (thesis `Gwt`).
     pub fn thresholded(&self, threshold: f64) -> BasisRep {
-        BasisRep { q: self.q.clone(), gw: self.gw.drop_below(threshold) }
+        self.with_gw(self.gw.drop_below(threshold))
     }
 
     /// Drops entries of `Gw` with
@@ -127,7 +203,7 @@ impl BasisRep {
                 t.push(i, j, v);
             }
         }
-        BasisRep { q: self.q.clone(), gw: t.to_csr() }
+        self.with_gw(t.to_csr())
     }
 
     /// Scaled-threshold analog of
@@ -168,21 +244,26 @@ impl BasisRep {
         diag
     }
 
-    /// Saves the representation as two Matrix Market files,
-    /// `<stem>.q.mtx` and `<stem>.gw.mtx` — the exchange format for
-    /// handing the model to a circuit simulator. Each file carries a
-    /// [`FORMAT_VERSION`] tag in its comment header so future changes to
-    /// the serialization can be detected instead of silently misread.
+    /// Saves the representation: the Matrix Market factors `<stem>.q.mtx`
+    /// and `<stem>.gw.mtx` (the exchange format for handing the model to a
+    /// circuit simulator), plus — when the representation serves through a
+    /// fast wavelet transform — a `<stem>.fwt` side file carrying the
+    /// block hierarchy, so a reloaded model keeps the `O(n·p)` serving
+    /// path. Each file carries a [`FORMAT_VERSION`]-style tag in its
+    /// header so future changes to the serialization can be detected
+    /// instead of silently misread; representations without a transform
+    /// are stamped as format 1, which pre-FWT readers still accept.
     ///
     /// # Errors
     ///
     /// Returns any I/O error from writing the files.
     pub fn save(&self, stem: &std::path::Path) -> std::io::Result<()> {
-        let version = format!("subsparse basisrep format {FORMAT_VERSION}");
+        // format 1 files are bit-compatible with pre-FWT builds, so only
+        // claim format 2 when the fwt section is actually written
+        let version_no = if self.fwt.is_some() { FORMAT_VERSION } else { 1 };
+        let version = format!("subsparse basisrep format {version_no}");
         let write = |suffix: &str, m: &Csr| -> std::io::Result<()> {
-            let mut path = stem.as_os_str().to_owned();
-            path.push(suffix);
-            let f = std::fs::File::create(std::path::PathBuf::from(path))?;
+            let f = std::fs::File::create(stem_path(stem, suffix))?;
             subsparse_linalg::io::write_matrix_market_commented(
                 m,
                 &[&version],
@@ -190,22 +271,43 @@ impl BasisRep {
             )
         };
         write(".q.mtx", &self.q)?;
-        write(".gw.mtx", &self.gw)
+        write(".gw.mtx", &self.gw)?;
+        let fwt_path = stem_path(stem, ".fwt");
+        match &self.fwt {
+            Some(fwt) => {
+                let body =
+                    format!("subsparse basisrep fwt section {version_no}\n{}", fwt.to_text());
+                std::fs::write(fwt_path, body)?;
+            }
+            None => {
+                // a stale side file from an earlier save would otherwise
+                // be re-attached to mismatched factors on load
+                match std::fs::remove_file(fwt_path) {
+                    Ok(()) => {}
+                    Err(e) if e.kind() == std::io::ErrorKind::NotFound => {}
+                    Err(e) => return Err(e),
+                }
+            }
+        }
+        Ok(())
     }
 
     /// Loads a representation saved by [`save`](Self::save).
     ///
+    /// Models carrying a `<stem>.fwt` section come back on the fast
+    /// wavelet transform serving path; legacy (format 1) models without
+    /// one load onto the explicit-CSR fallback.
+    ///
     /// # Errors
     ///
-    /// Returns an error if either file is missing or malformed, stamped
-    /// with a format version newer than [`FORMAT_VERSION`], or the factor
-    /// shapes are inconsistent. Files without a version tag (written
-    /// before tagging existed) load as the current format.
+    /// Returns an error if either factor file is missing or malformed,
+    /// any file is stamped with a format version newer than
+    /// [`FORMAT_VERSION`], the factor shapes are inconsistent, or the fwt
+    /// section fails structural validation. Files without a version tag
+    /// (written before tagging existed) load as format 1.
     pub fn load(stem: &std::path::Path) -> std::io::Result<BasisRep> {
         let read = |suffix: &str| -> std::io::Result<Csr> {
-            let mut path = stem.as_os_str().to_owned();
-            path.push(suffix);
-            let path = std::path::PathBuf::from(path);
+            let path = stem_path(stem, suffix);
             // peek only the leading comment block for the version tag,
             // then stream the actual parse — no whole-file buffering
             check_format_version(&read_comment_header(&path)?)?;
@@ -227,7 +329,36 @@ impl BasisRep {
                 ),
             ));
         }
-        Ok(BasisRep { q, gw })
+        let invalid = |msg: String| std::io::Error::new(std::io::ErrorKind::InvalidData, msg);
+        match std::fs::read_to_string(stem_path(stem, ".fwt")) {
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => Ok(BasisRep::new(q, gw)),
+            Err(e) => Err(e),
+            Ok(text) => {
+                let (header, body) = text.split_once('\n').unwrap_or((text.as_str(), ""));
+                let tag = header
+                    .trim()
+                    .strip_prefix("subsparse basisrep fwt section ")
+                    .ok_or_else(|| invalid("fwt section is missing its header".into()))?;
+                let version: u8 =
+                    tag.parse().map_err(|_| invalid(format!("malformed fwt tag {header:?}")))?;
+                if version > FORMAT_VERSION {
+                    return Err(invalid(format!(
+                        "model written with basisrep format {version}, \
+                         but this build reads at most {FORMAT_VERSION}"
+                    )));
+                }
+                let fwt = FastWaveletTransform::from_text(body).map_err(invalid)?;
+                if fwt.n() != q.n_rows() || q.n_rows() != q.n_cols() {
+                    return Err(invalid(format!(
+                        "fwt section is for {} contacts, but Q is {}x{}",
+                        fwt.n(),
+                        q.n_rows(),
+                        q.n_cols()
+                    )));
+                }
+                Ok(BasisRep::with_fwt(q, gw, fwt))
+            }
+        }
     }
 
     /// Thresholds `Gw` so its sparsity factor becomes (approximately)
@@ -257,36 +388,68 @@ impl BasisRep {
     }
 }
 
-/// The fused serving path: `Q' → Gw → Q` through two reusable workspace
-/// buffers, one vector or one panel at a time.
+/// The fused serving path: `FWT → Gw → FWT'` (tree-structured bases) or
+/// `Q' → Gw → Q` (explicit-CSR fallback, transpose cached) through the
+/// reusable workspace buffers, one vector or one panel at a time.
 impl CouplingOp for BasisRep {
     fn n(&self) -> usize {
         self.q.n_rows()
     }
 
     fn nnz(&self) -> usize {
-        self.q.nnz() + self.gw.nnz()
+        // the values an apply actually traverses: the factored transform
+        // when one is attached, the explicit Q otherwise
+        self.fwt.as_ref().map_or(self.q.nnz(), |f| f.stored()) + self.gw.nnz()
     }
 
     fn kind(&self) -> &'static str {
-        "basis-rep"
+        if self.fwt.is_some() {
+            "basis-rep-fwt"
+        } else {
+            "basis-rep"
+        }
     }
 
     fn apply_into(&self, x: &[f64], y: &mut [f64], ws: &mut ApplyWorkspace) {
-        let (wa, wb) = ws.mats();
-        wa.resize(self.q.n_cols(), 1);
-        wb.resize(self.gw.n_rows(), 1);
-        self.q.matvec_t_into(x, wa.col_mut(0));
-        self.gw.matvec_into(wa.col(0), wb.col_mut(0));
-        self.q.matvec_into(wb.col(0), y);
+        let (wa, wb, wc) = ws.mats3();
+        if let Some(fwt) = &self.fwt {
+            // y doubles as the coefficient buffer: forward fills it, the
+            // Gw product consumes it, and synthesis overwrites it
+            wa.resize(fwt.scratch_len(), 1);
+            wc.resize(fwt.scratch_len(), 1);
+            wb.resize(self.gw.n_rows(), 1);
+            fwt.forward_into(x, y, wa.col_mut(0), wc.col_mut(0));
+            self.gw.matvec_into(y, wb.col_mut(0));
+            fwt.inverse_into(wb.col(0), y, wa.col_mut(0), wc.col_mut(0));
+        } else {
+            wa.resize(self.q.n_cols(), 1);
+            wb.resize(self.gw.n_rows(), 1);
+            self.qt.matvec_into(x, wa.col_mut(0));
+            self.gw.matvec_into(wa.col(0), wb.col_mut(0));
+            self.q.matvec_into(wb.col(0), y);
+        }
     }
 
     fn apply_block_into(&self, x: &Mat, y: &mut Mat, ws: &mut ApplyWorkspace) {
-        let (wa, wb) = ws.mats();
-        self.q.matmul_t_dense_into(x, wa);
-        self.gw.matmul_dense_into(wa, wb);
-        self.q.matmul_dense_into(wb, y);
+        let (wa, wb, wc) = ws.mats3();
+        if let Some(fwt) = &self.fwt {
+            fwt.forward_block_into(x, y, wa, wc);
+            self.gw.matmul_dense_into(y, wb);
+            fwt.inverse_block_into(wb, y, wa, wc);
+        } else {
+            self.qt.matmul_dense_into(x, wa);
+            self.gw.matmul_dense_into(wa, wb);
+            self.q.matmul_dense_into(wb, y);
+        }
     }
+}
+
+/// `<stem><suffix>` as a path (stems are extensionless prefixes, so this
+/// is plain string concatenation, not extension replacement).
+fn stem_path(stem: &std::path::Path, suffix: &str) -> std::path::PathBuf {
+    let mut path = stem.as_os_str().to_owned();
+    path.push(suffix);
+    std::path::PathBuf::from(path)
 }
 
 /// Reads just the leading comment block (`%` lines and blanks) of a saved
@@ -351,7 +514,49 @@ mod tests {
         for (i, j, v) in [(0, 0, 2.0), (1, 1, 3.0), (2, 2, 4.0), (0, 1, -0.5), (1, 0, -0.5)] {
             t.push(i, j, v);
         }
-        BasisRep { q, gw: t.to_csr() }
+        BasisRep::new(q, t.to_csr())
+    }
+
+    /// A hand-built 2-level transform on 4 contacts plus a matching
+    /// explicit `Q` (materialized from the transform itself), for
+    /// serialization tests.
+    fn example_fwt_rep() -> BasisRep {
+        use crate::fwt::{FwtLevel, FwtNode};
+        let r = 0.5f64.sqrt();
+        let mut blocks = Vec::new();
+        for _ in 0..3 {
+            blocks.extend_from_slice(&[r, r, r, -r]);
+        }
+        let node = |in_offset, out_offset, col_start, block_offset| FwtNode {
+            in_offset,
+            in_len: 2,
+            v_cols: 1,
+            w_cols: 1,
+            out_offset,
+            col_start,
+            block_offset,
+        };
+        let levels = vec![
+            FwtLevel { nodes: vec![node(0, 0, 2, 0), node(2, 1, 3, 4)], coeff_len: 2 },
+            FwtLevel { nodes: vec![node(0, 0, 1, 8)], coeff_len: 1 },
+        ];
+        let fwt = FastWaveletTransform::from_parts(4, 1, levels, vec![0, 1, 2, 3], blocks).unwrap();
+        // materialize Q column by column through the synthesis transform
+        let mut qd = Mat::zeros(4, 4);
+        let (mut s1, mut s2) = (vec![0.0; fwt.scratch_len()], vec![0.0; fwt.scratch_len()]);
+        let mut e = vec![0.0; 4];
+        for j in 0..4 {
+            e[j] = 1.0;
+            let mut col = vec![0.0; 4];
+            fwt.inverse_into(&e, &mut col, &mut s1, &mut s2);
+            qd.col_mut(j).copy_from_slice(&col);
+            e[j] = 0.0;
+        }
+        let mut t = Triplets::new(4, 4);
+        for (i, j, v) in [(0, 0, 2.0), (1, 1, 1.5), (2, 2, 3.0), (3, 3, 1.0), (0, 2, -0.25)] {
+            t.push(i, j, v);
+        }
+        BasisRep::with_fwt(Csr::from_dense(&qd, 0.0), t.to_csr(), fwt)
     }
 
     #[test]
@@ -396,7 +601,7 @@ mod tests {
         ] {
             t.push(i, j, v);
         }
-        let rep = BasisRep { q: Csr::identity(3), gw: t.to_csr() };
+        let rep = BasisRep::new(Csr::identity(3), t.to_csr());
         // an absolute threshold at 1.0 drops the small-magnitude cross
         // entry but keeps the 5.0s
         let abs = rep.thresholded(1.0);
@@ -419,9 +624,9 @@ mod tests {
         std::fs::create_dir_all(&dir).unwrap();
         let stem = dir.join("model");
         r.save(&stem).unwrap();
-        // the files carry the current format-version tag
+        // fwt-less models stay on format 1 so pre-FWT readers accept them
         let text = std::fs::read_to_string(dir.join("model.q.mtx")).unwrap();
-        assert!(text.contains(&format!("subsparse basisrep format {FORMAT_VERSION}")));
+        assert!(text.contains("subsparse basisrep format 1"));
         let back = BasisRep::load(&stem).unwrap();
         assert_eq!(back.q.nnz(), r.q.nnz());
         assert_eq!(back.gw.nnz(), r.gw.nnz());
@@ -445,7 +650,7 @@ mod tests {
         // stamp the q factor as a future format: load must refuse
         let q_path = dir.join("model.q.mtx");
         let bumped = std::fs::read_to_string(&q_path).unwrap().replace(
-            &format!("subsparse basisrep format {FORMAT_VERSION}"),
+            "subsparse basisrep format 1",
             &format!("subsparse basisrep format {}", FORMAT_VERSION + 1),
         );
         std::fs::write(&q_path, bumped).unwrap();
@@ -475,6 +680,62 @@ mod tests {
         let mut y = vec![0.0; 3];
         r.apply_into(&v, &mut y, &mut ws);
         assert_eq!(y, r.apply(&v));
+    }
+
+    #[test]
+    fn fwt_save_load_roundtrip_keeps_fast_path() {
+        let rep = example_fwt_rep();
+        assert_eq!(rep.kind(), "basis-rep-fwt");
+        let dir = std::env::temp_dir().join("subsparse_rep_fwt_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let stem = dir.join("model");
+        rep.save(&stem).unwrap();
+        // format 2 stamped, fwt side file written
+        let text = std::fs::read_to_string(dir.join("model.q.mtx")).unwrap();
+        assert!(text.contains(&format!("subsparse basisrep format {FORMAT_VERSION}")), "{text}");
+        assert!(dir.join("model.fwt").exists());
+        let back = BasisRep::load(&stem).unwrap();
+        assert!(back.fwt().is_some(), "loaded model must keep the fast path");
+        // applies agree bit for bit (shortest-roundtrip f64 text)
+        let x = [0.25, -1.0, 2.0, 0.5];
+        assert_eq!(back.apply(&x), rep.apply(&x));
+        // the fast path agrees with the explicit-CSR fallback
+        let fallback = rep.without_fwt();
+        assert_eq!(fallback.kind(), "basis-rep");
+        for (a, b) in rep.apply(&x).iter().zip(fallback.apply(&x)) {
+            assert!((a - b).abs() <= 1e-12 * b.abs().max(1.0), "{a} vs {b}");
+        }
+        // re-saving without the transform demotes the model to format 1
+        // and removes the stale side file
+        fallback.save(&stem).unwrap();
+        assert!(!dir.join("model.fwt").exists());
+        let legacy = BasisRep::load(&stem).unwrap();
+        assert!(legacy.fwt().is_none(), "legacy model must fall back to CSR");
+        std::fs::remove_file(dir.join("model.q.mtx")).ok();
+        std::fs::remove_file(dir.join("model.gw.mtx")).ok();
+    }
+
+    #[test]
+    fn fwt_section_from_the_future_is_refused() {
+        let rep = example_fwt_rep();
+        let dir = std::env::temp_dir().join("subsparse_rep_fwt_version_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let stem = dir.join("model");
+        rep.save(&stem).unwrap();
+        let fwt_path = dir.join("model.fwt");
+        let bumped = std::fs::read_to_string(&fwt_path).unwrap().replace(
+            &format!("fwt section {FORMAT_VERSION}"),
+            &format!("fwt section {}", FORMAT_VERSION + 1),
+        );
+        std::fs::write(&fwt_path, bumped).unwrap();
+        let err = BasisRep::load(&stem).unwrap_err();
+        assert!(err.to_string().contains("format"), "{err}");
+        // a corrupt section is rejected, not silently dropped
+        std::fs::write(&fwt_path, "subsparse basisrep fwt section 2\n1 2 garbage").unwrap();
+        assert!(BasisRep::load(&stem).is_err());
+        std::fs::remove_file(fwt_path).ok();
+        std::fs::remove_file(dir.join("model.q.mtx")).ok();
+        std::fs::remove_file(dir.join("model.gw.mtx")).ok();
     }
 
     #[test]

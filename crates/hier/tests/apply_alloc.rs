@@ -9,7 +9,8 @@
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::sync::atomic::{AtomicUsize, Ordering};
 
-use subsparse_hier::BasisRep;
+use subsparse_hier::fwt::{FwtLevel, FwtNode};
+use subsparse_hier::{BasisRep, FastWaveletTransform};
 use subsparse_linalg::{svd, ApplyWorkspace, CouplingOp, Csr, LowRankOp, Mat, Triplets};
 
 /// Forwards to the system allocator, counting allocations.
@@ -52,7 +53,7 @@ fn apply_into_is_allocation_free_after_warmup() {
         t.push(i, (i + 1) % n, -0.5);
     }
     let sparse = t.to_csr();
-    let rep = BasisRep { q: Csr::identity(n), gw: sparse.clone() };
+    let rep = BasisRep::new(Csr::identity(n), sparse.clone());
     let f = svd::svd(&dense);
     let lowrank = LowRankOp::from_svd(&f, 4);
 
@@ -81,4 +82,74 @@ fn apply_into_is_allocation_free_after_warmup() {
         });
         assert_eq!(blocked, 0, "{}: apply_block_into allocated after warm-up", op.kind());
     }
+
+    // the fast-wavelet-transform serving path: a hand-built 3-level
+    // binary-split transform on 8 contacts, pushed through the same
+    // (already warm, larger-shaped) workspace
+    let fwt = haar_fwt8();
+    let mut tg = Triplets::new(8, 8);
+    for i in 0..8 {
+        tg.push(i, i, 1.5 + i as f64 * 0.1);
+        tg.push(i, (i + 3) % 8, -0.25);
+    }
+    let fwt_rep = BasisRep::with_fwt(Csr::identity(8), tg.to_csr(), fwt);
+    assert_eq!(fwt_rep.kind(), "basis-rep-fwt");
+    let x8: Vec<f64> = (0..8).map(|i| (i as f64).sin()).collect();
+    let xb8 = Mat::from_fn(8, 8, |i, j| ((i * 5 + j) as f64).cos());
+    let mut y8 = vec![0.0; 8];
+    let mut yb8 = Mat::zeros(8, 8);
+    fwt_rep.apply_into(&x8, &mut y8, &mut ws);
+    fwt_rep.apply_block_into(&xb8, &mut yb8, &mut ws);
+    let fwt_allocs = allocations_during(|| {
+        for _ in 0..16 {
+            fwt_rep.apply_into(&x8, &mut y8, &mut ws);
+            fwt_rep.apply_block_into(&xb8, &mut yb8, &mut ws);
+        }
+    });
+    assert_eq!(fwt_allocs, 0, "fwt path allocated after warm-up");
+}
+
+/// A 2-level quadtree-style transform on 8 contacts: four finest pairs,
+/// one root combining the four scaling coefficients (v = 1, w = 3).
+fn haar_fwt8() -> FastWaveletTransform {
+    let r = 0.5f64.sqrt();
+    let mut blocks = Vec::new();
+    for _ in 0..4 {
+        blocks.extend_from_slice(&[r, r, r, -r]); // finest [v | w]
+    }
+    // root: 4 inputs -> 1 scaling + 3 wavelet outputs (orthogonal 4x4,
+    // column-major [v | w1 w2 w3])
+    blocks.extend_from_slice(&[
+        0.5, 0.5, 0.5, 0.5, // v: normalized sum
+        0.5, -0.5, 0.5, -0.5, // w1
+        0.5, 0.5, -0.5, -0.5, // w2
+        0.5, -0.5, -0.5, 0.5, // w3
+    ]);
+    let finest = FwtLevel {
+        nodes: (0..4)
+            .map(|s| FwtNode {
+                in_offset: 2 * s,
+                in_len: 2,
+                v_cols: 1,
+                w_cols: 1,
+                out_offset: s,
+                col_start: 4 + s,
+                block_offset: 4 * s,
+            })
+            .collect(),
+        coeff_len: 4,
+    };
+    let root = FwtLevel {
+        nodes: vec![FwtNode {
+            in_offset: 0,
+            in_len: 4,
+            v_cols: 1,
+            w_cols: 3,
+            out_offset: 0,
+            col_start: 1,
+            block_offset: 16,
+        }],
+        coeff_len: 1,
+    };
+    FastWaveletTransform::from_parts(8, 1, vec![finest, root], (0..8).collect(), blocks).unwrap()
 }

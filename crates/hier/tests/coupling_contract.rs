@@ -93,7 +93,7 @@ fn basis_rep_block_apply_is_bit_identical() {
     // intermediate dimension handling
     let q = random_csr(45, 30, 0.3, 3);
     let gw = random_csr(30, 30, 0.4, 4);
-    let rep = BasisRep { q, gw };
+    let rep = BasisRep::new(q, gw);
     assert_block_bit_agrees(&rep, "basis-rep");
     assert_eq!(rep.kind(), "basis-rep");
 }
@@ -114,7 +114,7 @@ fn basis_rep_dense_columns_matches_per_vector_apply() {
     // 45-contact rep crosses one panel boundary
     let q = random_csr(45, 45, 0.2, 6);
     let gw = random_csr(45, 45, 0.3, 7);
-    let rep = BasisRep { q, gw };
+    let rep = BasisRep::new(q, gw);
     let d = rep.to_dense();
     let mut e = vec![0.0; 45];
     for j in 0..45 {
@@ -140,7 +140,7 @@ fn workspace_is_shareable_across_representations() {
     // leak state between them
     let dense = random_mat(20, 20, 8);
     let sparse = Csr::from_dense(&dense, 0.5);
-    let rep = BasisRep { q: Csr::identity(20), gw: sparse.clone() };
+    let rep = BasisRep::new(Csr::identity(20), sparse.clone());
     let mut ws = ApplyWorkspace::new();
     ws.warm(20, 4);
     let x = random_mat(20, 4, 9);

@@ -51,17 +51,20 @@ use crate::sparse::Csr;
 
 /// Reusable scratch space for [`CouplingOp`] applies.
 ///
-/// Holds two scratch matrices that the apply pipelines resize in place
-/// (single-vector applies use them as one-column matrices). Buffers only
-/// grow, so once a workspace has served an operator/block-width
-/// combination, every further apply through it is allocation-free — the
-/// contract the serving layer is named for, and what the
-/// counting-allocator test in `crates/hier/tests/apply_alloc.rs` pins
-/// down.
+/// Holds three scratch matrices that the apply pipelines resize in place
+/// (single-vector applies use them as one-column matrices). Two suffice
+/// for the straight `Q' → Gw → Q` sandwich; tree-structured transforms
+/// (the fast wavelet transform path) additionally ping-pong level
+/// coefficients through the third. Buffers only grow, so once a
+/// workspace has served an operator/block-width combination, every
+/// further apply through it is allocation-free — the contract the
+/// serving layer is named for, and what the counting-allocator test in
+/// `crates/hier/tests/apply_alloc.rs` pins down.
 #[derive(Clone, Debug, Default)]
 pub struct ApplyWorkspace {
     a: Mat,
     b: Mat,
+    c: Mat,
 }
 
 impl ApplyWorkspace {
@@ -70,17 +73,25 @@ impl ApplyWorkspace {
         Self::default()
     }
 
-    /// Pre-sizes both scratch buffers for applying an operator with
+    /// Pre-sizes the scratch buffers for applying an operator with
     /// `inner` intermediate coefficients to blocks of up to `block`
     /// vectors, so even the first apply allocates nothing.
     pub fn warm(&mut self, inner: usize, block: usize) {
         self.a.resize(inner, block);
         self.b.resize(inner, block);
+        self.c.resize(inner, block);
     }
 
-    /// Both scratch matrices, mutably (they are always disjoint).
+    /// The first two scratch matrices, mutably (they are always
+    /// disjoint) — enough for two-stage pipelines.
     pub fn mats(&mut self) -> (&mut Mat, &mut Mat) {
         (&mut self.a, &mut self.b)
+    }
+
+    /// All three scratch matrices, mutably (pairwise disjoint), for
+    /// pipelines that also need a transform-internal scratch buffer.
+    pub fn mats3(&mut self) -> (&mut Mat, &mut Mat, &mut Mat) {
+        (&mut self.a, &mut self.b, &mut self.c)
     }
 }
 
@@ -98,8 +109,11 @@ pub trait CouplingOp {
     /// Number of contacts (the operator is `n x n`).
     fn n(&self) -> usize;
 
-    /// Stored nonzeros across every factor — the memory an embedding
-    /// simulator pays, and the per-apply work estimate.
+    /// Stored nonzeros across the representation's *logical* factors —
+    /// the per-apply work estimate and the exchange-format size. Each
+    /// factor counts once even if an implementation also keeps a derived
+    /// copy (a cached transpose, a factored fast-transform *replacing*
+    /// its factor's traversal counts instead of it).
     fn nnz(&self) -> usize;
 
     /// Short stable name of the representation (`"dense"`, `"csr"`,

@@ -150,6 +150,7 @@ impl Csr {
     }
 
     /// Row `i` as `(column indices, values)`.
+    #[inline]
     pub fn row(&self, i: usize) -> (&[u32], &[f64]) {
         let (a, b) = (self.indptr[i], self.indptr[i + 1]);
         (&self.indices[a..b], &self.data[a..b])
@@ -172,16 +173,23 @@ impl Csr {
     /// # Panics
     ///
     /// Panics on dimension mismatch.
+    #[inline]
     pub fn matvec_into(&self, x: &[f64], y: &mut [f64]) {
         assert_eq!(x.len(), self.n_cols, "csr matvec dimension mismatch");
         assert_eq!(y.len(), self.n_rows, "csr matvec output length mismatch");
-        for (i, yi) in y.iter_mut().enumerate() {
-            let (cols, vals) = self.row(i);
+        // walk the row-pointer array as windows so each row's index/value
+        // slices come straight off the running offsets (no per-row
+        // double lookup through `row`)
+        let mut start = self.indptr[0];
+        for (yi, &end) in y.iter_mut().zip(&self.indptr[1..]) {
+            let cols = &self.indices[start..end];
+            let vals = &self.data[start..end];
             let mut acc = 0.0;
             for (c, v) in cols.iter().zip(vals) {
                 acc += v * x[*c as usize];
             }
             *yi = acc;
+            start = end;
         }
     }
 
@@ -202,19 +210,21 @@ impl Csr {
     /// # Panics
     ///
     /// Panics on dimension mismatch.
+    #[inline]
     pub fn matvec_t_into(&self, x: &[f64], y: &mut [f64]) {
         assert_eq!(x.len(), self.n_rows, "csr matvec_t dimension mismatch");
         assert_eq!(y.len(), self.n_cols, "csr matvec_t output length mismatch");
         y.fill(0.0);
-        for i in 0..self.n_rows {
-            let xi = x[i];
-            if xi == 0.0 {
-                continue;
+        let mut start = self.indptr[0];
+        for (&xi, &end) in x.iter().zip(&self.indptr[1..]) {
+            if xi != 0.0 {
+                let cols = &self.indices[start..end];
+                let vals = &self.data[start..end];
+                for (c, v) in cols.iter().zip(vals) {
+                    y[*c as usize] += v * xi;
+                }
             }
-            let (cols, vals) = self.row(i);
-            for (c, v) in cols.iter().zip(vals) {
-                y[*c as usize] += v * xi;
-            }
+            start = end;
         }
     }
 
@@ -239,18 +249,28 @@ impl Csr {
         let mut j0 = 0;
         while j0 < b {
             let jw = CSR_COL_BLOCK.min(b - j0);
-            for i in 0..self.n_rows {
-                let (cols, vals) = self.row(i);
+            // the panel's input columns as plain slices, so the inner
+            // loop indexes contiguous memory instead of recomputing the
+            // column-major offset per access
+            let mut xc: [&[f64]; CSR_COL_BLOCK] = [&[]; CSR_COL_BLOCK];
+            for (jj, s) in xc[..jw].iter_mut().enumerate() {
+                *s = x.col(j0 + jj);
+            }
+            let mut start = self.indptr[0];
+            for (i, &end) in (0..self.n_rows).zip(&self.indptr[1..]) {
+                let cols = &self.indices[start..end];
+                let vals = &self.data[start..end];
                 let mut acc = [0.0f64; CSR_COL_BLOCK];
                 for (c, v) in cols.iter().zip(vals) {
                     let c = *c as usize;
-                    for (jj, a) in acc[..jw].iter_mut().enumerate() {
-                        *a += v * x[(c, j0 + jj)];
+                    for (a, s) in acc[..jw].iter_mut().zip(&xc) {
+                        *a += v * s[c];
                     }
                 }
                 for (jj, a) in acc[..jw].iter().enumerate() {
                     y[(i, j0 + jj)] = *a;
                 }
+                start = end;
             }
             j0 += jw;
         }
@@ -286,13 +306,20 @@ impl Csr {
         let mut j0 = 0;
         while j0 < b {
             let jw = CSR_COL_BLOCK.min(b - j0);
-            for i in 0..self.n_rows {
-                let (cols, vals) = self.row(i);
+            let mut xc: [&[f64]; CSR_COL_BLOCK] = [&[]; CSR_COL_BLOCK];
+            for (jj, s) in xc[..jw].iter_mut().enumerate() {
+                *s = x.col(j0 + jj);
+            }
+            let mut start = self.indptr[0];
+            for (i, &end) in (0..self.n_rows).zip(&self.indptr[1..]) {
+                let cols = &self.indices[start..end];
+                let vals = &self.data[start..end];
+                start = end;
                 if cols.is_empty() {
                     continue;
                 }
-                for jj in 0..jw {
-                    let xi = x[(i, j0 + jj)];
+                for (jj, s) in xc[..jw].iter().enumerate() {
+                    let xi = s[i];
                     if xi == 0.0 {
                         continue;
                     }

@@ -276,7 +276,7 @@ pub fn to_basis_rep_with(rb: &RowBasisRep, rank_tol: f64, max_rank: usize) -> Ba
         }
     }
 
-    BasisRep { q, gw: acc.to_symmetric_csr(n) }
+    BasisRep::new(q, acc.to_symmetric_csr(n))
 }
 
 /// Stacks the children's `U` vectors into the parent's contact coordinates.

@@ -48,7 +48,8 @@ pub struct MethodReport {
     pub solves: usize,
     /// `n / solves`.
     pub solve_reduction: f64,
-    /// Stored nonzeros (`Q` plus `Gw`).
+    /// Stored values the serving path traverses per apply (fast
+    /// transform or explicit `Q`, plus `Gw`).
     pub nnz: usize,
     /// `nnz / n^2` (lower is sparser).
     pub nnz_ratio: f64,
@@ -189,7 +190,11 @@ pub fn evaluate_columns(
 /// single-vector applies and [`EvalOptions::apply_block`]-wide blocked
 /// applies, both with a warm workspace (buffers grown once before the
 /// clock starts, so the measurement is of serving, not of allocation).
-/// Returns `(ns per apply, ns per vector of a blocked apply)`.
+/// Representations carrying a fast wavelet transform are timed through
+/// it — the path a simulator would actually serve on — so the wavelet
+/// rows of the method tables reflect the `O(n·p)` transform cost, not
+/// the explicit-CSR fallback. Returns `(ns per apply, ns per vector of a
+/// blocked apply)`.
 pub fn time_applies(op: &dyn CouplingOp, opts: &EvalOptions) -> (f64, f64) {
     let n = op.n();
     let iters = opts.apply_iters.max(1);

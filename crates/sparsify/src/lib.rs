@@ -170,10 +170,14 @@ impl SparsifyOutcome {
         self.n() as f64 / self.solves as f64
     }
 
-    /// Total stored nonzeros of the representation (`Q` plus `Gw`) — the
-    /// memory/apply cost a circuit simulator pays.
+    /// Stored nonzeros of the representation's logical factors — the
+    /// factored fast transform plus `Gw` when the representation carries
+    /// one, the explicit `Q` plus `Gw` otherwise; derived caches (e.g.
+    /// the fallback path's transposed `Q`) are not double-counted (see
+    /// [`CouplingOp::nnz`](subsparse_linalg::CouplingOp::nnz)).
     pub fn nnz(&self) -> usize {
-        self.rep.q.nnz() + self.rep.gw.nnz()
+        use subsparse_linalg::CouplingOp as _;
+        self.rep.nnz()
     }
 
     /// Total nonzeros relative to the dense `n^2` (lower is sparser).

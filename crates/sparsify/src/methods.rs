@@ -105,7 +105,7 @@ fn dense_reference(
 /// `BasisRep` with `Q = I`.
 fn identity_rep(gw: Csr) -> BasisRep {
     let n = gw.n_rows();
-    BasisRep { q: Csr::identity(n), gw }
+    BasisRep::new(Csr::identity(n), gw)
 }
 
 /// Global magnitude thresholding of the extracted `G` (thesis §3.7's
@@ -218,7 +218,7 @@ impl Sparsifier for SvdSparsifier {
         let f = svd(&g);
         let u_r = f.u.col_block(0, r);
         let gw_r = u_r.matmul_tn(&g.matmul(&u_r));
-        let rep = BasisRep { q: Csr::from_dense(&u_r, 0.0), gw: Csr::from_dense(&gw_r, 0.0) };
+        let rep = BasisRep::new(Csr::from_dense(&u_r, 0.0), Csr::from_dense(&gw_r, 0.0));
         Ok(SparsifyOutcome { rep, solves, build_time: t0.elapsed() })
     }
 }
@@ -287,7 +287,7 @@ impl Sparsifier for HybridSvdThresholdSparsifier {
                 }
             }
         }
-        let rep = BasisRep { q: q.to_csr(), gw: gw.to_csr() };
+        let rep = BasisRep::new(q.to_csr(), gw.to_csr());
         Ok(SparsifyOutcome { rep, solves, build_time: t0.elapsed() })
     }
 }

@@ -7,8 +7,9 @@
 //! translated moments (eq. 3.16). The zero-padded `W` columns of every
 //! square plus the root `V` columns form the orthogonal sparse `Q`.
 
+use subsparse_hier::fwt::{FwtLevel, FwtNode};
 use subsparse_hier::moments::{moment_matrix, n_moments, translation_matrix};
-use subsparse_hier::{HierError, Quadtree, Square};
+use subsparse_hier::{FastWaveletTransform, HierError, Quadtree, Square};
 use subsparse_layout::Layout;
 use subsparse_linalg::qr::orthonormal_completion;
 use subsparse_linalg::svd::svd;
@@ -28,6 +29,13 @@ pub(crate) struct SquareBasis {
     pub w: Mat,
     /// Moments of the `V_s` columns about the square center (`d x v_s`).
     pub cm: Mat,
+    /// Coefficient-space transform `T_s` producing `V_s` from the
+    /// children's scaling coefficients (`total_v x v_s`; empty at the
+    /// finest level, where `v` itself is the transform).
+    pub tc: Mat,
+    /// Coefficient-space complement `R_s` producing `W_s`
+    /// (`total_v x w_s`; empty at the finest level).
+    pub rc: Mat,
     /// Global column index of this square's first `W` column in `Q`.
     pub col_start: usize,
 }
@@ -44,6 +52,7 @@ pub struct WaveletBasis {
     /// Number of root nonvanishing columns (they occupy columns `0..root_v`).
     pub(crate) root_v: usize,
     q: Csr,
+    fwt: FastWaveletTransform,
 }
 
 impl WaveletBasis {
@@ -65,6 +74,15 @@ impl WaveletBasis {
     /// The sparse orthogonal change-of-basis matrix.
     pub fn q(&self) -> &Csr {
         &self.q
+    }
+
+    /// The tree-structured fast form of the same change of basis:
+    /// applies `Q'`/`Q` in `O(n·p)` per vector by walking the quadtree
+    /// level by level instead of traversing the flat CSR factors. This is
+    /// the serving path [`extract`](crate::extract) attaches to the
+    /// representations it produces.
+    pub fn fwt(&self) -> &FastWaveletTransform {
+        &self.fwt
     }
 
     /// Number of coarsest-level nonvanishing basis vectors; they occupy
@@ -123,6 +141,8 @@ pub fn build_basis(layout: &Layout, levels: usize, p: usize) -> Result<WaveletBa
                 v: Mat::zeros(0, 0),
                 w: Mat::zeros(0, 0),
                 cm: Mat::zeros(d, 0),
+                tc: Mat::zeros(0, 0),
+                rc: Mat::zeros(0, 0),
                 col_start: usize::MAX,
             };
             k * k
@@ -145,7 +165,14 @@ pub fn build_basis(layout: &Layout, levels: usize, p: usize) -> Result<WaveletBa
         let w = orthonormal_completion(&v);
         // cm = M * V = U_r * Sigma_r
         let cm = m.matmul(&v);
-        squares[finest][s.flat()] = SquareBasis { v, w, cm, col_start: usize::MAX };
+        squares[finest][s.flat()] = SquareBasis {
+            v,
+            w,
+            cm,
+            tc: Mat::zeros(0, 0),
+            rc: Mat::zeros(0, 0),
+            col_start: usize::MAX,
+        };
     }
 
     // ---- coarser levels: recombine child V's (eq. 3.16)
@@ -191,7 +218,10 @@ pub fn build_basis(layout: &Layout, levels: usize, p: usize) -> Result<WaveletBa
             let v = x.matmul(&tcoef);
             let w = x.matmul(&rcoef);
             let cm = a.matmul(&tcoef);
-            squares[l][s.flat()] = SquareBasis { v, w, cm, col_start: usize::MAX };
+            // the coefficient-space transforms are kept: they ARE the
+            // square's step of the fast wavelet transform
+            squares[l][s.flat()] =
+                SquareBasis { v, w, cm, tc: tcoef, rc: rcoef, col_start: usize::MAX };
         }
     }
 
@@ -238,8 +268,95 @@ pub fn build_basis(layout: &Layout, levels: usize, p: usize) -> Result<WaveletBa
         }
     }
     let q = trip.to_csr();
+    let fwt = build_fwt(&tree, &squares, n, root_v);
 
-    Ok(WaveletBasis { tree, p, n, squares, root_v, q })
+    Ok(WaveletBasis { tree, p, n, squares, root_v, q, fwt })
+}
+
+/// Assembles the tree-structured fast transform from the per-square
+/// blocks the basis construction just computed: finest-level `[V_s|W_s]`
+/// in contact coordinates, coarser `[T_s|R_s]` in child-coefficient
+/// coordinates.
+///
+/// Squares are laid out in Morton order per level, which makes the four
+/// children of any square occupy one contiguous run of the finer level's
+/// coefficient buffer — a coarse square's gather is then a plain slice.
+fn build_fwt(
+    tree: &Quadtree,
+    squares: &[Vec<SquareBasis>],
+    n: usize,
+    root_v: usize,
+) -> FastWaveletTransform {
+    let finest = tree.finest();
+    let mut levels = Vec::with_capacity(finest + 1);
+    let mut contact_idx: Vec<u32> = Vec::with_capacity(n);
+    let mut blocks: Vec<f64> = Vec::new();
+    // per finer-level square: its scaling-coefficient offset and count
+    let mut child_off: Vec<usize> = Vec::new();
+    let mut child_v: Vec<usize> = Vec::new();
+    for l in (0..=finest).rev() {
+        let side = tree.side(l);
+        let mut nodes = Vec::new();
+        let mut off = 0usize;
+        let mut this_off = vec![usize::MAX; side * side];
+        let mut this_v = vec![0usize; side * side];
+        for s in tree.squares_morton(l) {
+            let sb = &squares[l][s.flat()];
+            let (in_offset, in_len) = if l == finest {
+                let cs = tree.contacts_in_square(s);
+                if cs.is_empty() {
+                    continue;
+                }
+                let io = contact_idx.len();
+                contact_idx.extend_from_slice(cs);
+                blocks.extend_from_slice(sb.v.data());
+                blocks.extend_from_slice(sb.w.data());
+                (io, cs.len())
+            } else {
+                // the children sit consecutively, in `children()` order,
+                // in the finer level's Morton-ordered buffer
+                let mut io = usize::MAX;
+                let mut total = 0usize;
+                for c in s.children() {
+                    let co = child_off[c.flat()];
+                    if co != usize::MAX {
+                        if io == usize::MAX {
+                            io = co;
+                        }
+                        debug_assert_eq!(co, io + total, "children not contiguous under {s:?}");
+                        total += child_v[c.flat()];
+                    }
+                }
+                if total == 0 {
+                    continue;
+                }
+                debug_assert_eq!(sb.tc.n_rows(), total, "transform height mismatch at {s:?}");
+                blocks.extend_from_slice(sb.tc.data());
+                blocks.extend_from_slice(sb.rc.data());
+                (io, total)
+            };
+            let v_cols = sb.v.n_cols();
+            let w_cols = sb.w.n_cols();
+            let block_offset = blocks.len() - in_len * (v_cols + w_cols);
+            nodes.push(FwtNode {
+                in_offset,
+                in_len,
+                v_cols,
+                w_cols,
+                out_offset: off,
+                col_start: sb.col_start,
+                block_offset,
+            });
+            this_off[s.flat()] = off;
+            this_v[s.flat()] = v_cols;
+            off += v_cols;
+        }
+        levels.push(FwtLevel { nodes, coeff_len: off });
+        child_off = this_off;
+        child_v = this_v;
+    }
+    FastWaveletTransform::from_parts(n, root_v, levels, contact_idx, blocks)
+        .expect("basis construction must produce a consistent transform")
 }
 
 /// Builds the block matrix `X` whose columns are the children's `V`

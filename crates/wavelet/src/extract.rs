@@ -134,7 +134,10 @@ pub fn extract<S: SubstrateSolver + ?Sized>(
         });
     }
 
-    BasisRep { q: basis.q().clone(), gw: acc.to_symmetric_csr(n) }
+    // serve through the tree-structured transform: O(n·p) per basis
+    // apply instead of traversing the explicit CSR factors (the flat Q
+    // is still attached as the exchange/inspection format)
+    BasisRep::with_fwt(basis.q().clone(), acc.to_symmetric_csr(n), basis.fwt().clone())
 }
 
 /// Reads the entries of `Gw` recoverable from the response `y` to a
