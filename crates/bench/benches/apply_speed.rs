@@ -3,12 +3,12 @@
 //! (quick variant; run the `apply_speed` binary for the full sizes and
 //! the JSON emission).
 
-use subsparse_bench::apply_speed::{format_rows, run_apply_speed, FWT_CSR_TOL};
+use subsparse_bench::apply_speed::{format_rows, run_apply_speed, DEFAULT_THREADS, FWT_CSR_TOL};
 
 fn main() {
-    let report = run_apply_speed(true);
+    let report = run_apply_speed(true, DEFAULT_THREADS);
     print!("{}", format_rows(&report.rows));
-    assert!(report.rows.iter().all(|r| r.bit_equal), "a blocked apply diverged");
+    assert!(report.rows.iter().all(|r| r.bit_equal), "an apply diverged");
     assert!(
         report.fwt_vs_csr_rel_err <= FWT_CSR_TOL,
         "wavelet serving paths diverged: {:.3e}",

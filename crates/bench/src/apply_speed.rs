@@ -27,7 +27,7 @@ use std::fmt::Write as _;
 
 use subsparse::layout::generators;
 use subsparse::linalg::rng::SmallRng;
-use subsparse::linalg::{ApplyWorkspace, CouplingOp, LowRankOp, Mat};
+use subsparse::linalg::{ApplyWorkspace, CouplingOp, LowRankOp, Mat, ParallelApply};
 use subsparse::lowrank::LowRankOptions;
 use subsparse::sparsify::eval::format_ns;
 use subsparse::substrate::solver;
@@ -38,13 +38,17 @@ use crate::timing;
 /// Block widths measured per representation (1 = the looped baseline).
 pub const BLOCK_WIDTHS: [usize; 3] = [1, 8, 32];
 
+/// Default worker count of the thread-parallel rows (the `--threads`
+/// flag of the `apply_speed` binary overrides it; 1 disables them).
+pub const DEFAULT_THREADS: usize = 2;
+
 /// Largest relative 2-norm divergence tolerated between the fast-wavelet-
 /// transform apply and the explicit-CSR apply of the same representation
 /// (they compute the same orthogonal product with different association,
 /// so they agree to rounding; anything past this is a real bug).
 pub const FWT_CSR_TOL: f64 = 1e-12;
 
-/// One (representation, n, block-width) measurement.
+/// One (representation, n, block-width, thread-count) measurement.
 #[derive(Clone, Debug)]
 pub struct ApplySpeedRow {
     /// Representation name (`dense`, `wavelet`, `wavelet_fwt`,
@@ -55,12 +59,17 @@ pub struct ApplySpeedRow {
     pub n: usize,
     /// Vectors per blocked apply (1 = per-vector loop).
     pub block: usize,
+    /// Worker threads the apply ran on (1 = the serial serving path,
+    /// more = the `ParallelApply` executor).
+    pub threads: usize,
     /// Stored nonzeros of the representation.
     pub nnz: usize,
     /// Median wall-clock nanoseconds per applied vector.
     pub ns_per_vector: f64,
-    /// Whether the blocked result bit-agrees, column for column, with the
-    /// looped per-vector apply (always true for `block == 1`).
+    /// Whether the result bit-agrees, column for column, with the looped
+    /// per-vector apply (always true for `block == 1, threads == 1`;
+    /// threaded rows compare the executor's output against the serial
+    /// blocked apply, whose columns are already gated against the loop).
     pub bit_equal: bool,
 }
 
@@ -68,16 +77,23 @@ impl ApplySpeedRow {
     /// One machine-readable JSON object (used by `BENCH_*.json` emission).
     pub fn json(&self) -> String {
         format!(
-            "{{\"method\":\"{}\",\"n\":{},\"block\":{},\"nnz\":{},\"ns_per_vector\":{:.1},\"bit_equal\":{}}}",
-            self.method, self.n, self.block, self.nnz, self.ns_per_vector, self.bit_equal
+            "{{\"method\":\"{}\",\"n\":{},\"block\":{},\"threads\":{},\"nnz\":{},\"ns_per_vector\":{:.1},\"bit_equal\":{}}}",
+            self.method, self.n, self.block, self.threads, self.nnz, self.ns_per_vector, self.bit_equal
         )
     }
 }
 
-/// Times one op at every block width, checking blocked-vs-looped
-/// bit-agreement along the way.
-fn bench_op(method: &str, n: usize, op: &dyn CouplingOp, rows: &mut Vec<ApplySpeedRow>) {
+/// Times one op at every block width and thread count, checking
+/// blocked-vs-looped and threaded-vs-serial bit-agreement along the way.
+fn bench_op(
+    method: &str,
+    n: usize,
+    op: &(dyn CouplingOp + Sync),
+    threads: usize,
+    rows: &mut Vec<ApplySpeedRow>,
+) {
     let mut ws = ApplyWorkspace::new();
+    let mut pool = ParallelApply::new(threads);
     let mut y = vec![0.0; n];
     for &block in &BLOCK_WIDTHS {
         let x = Mat::from_fn(n, block, |i, j| ((i * 37 + j * 11) % 101) as f64 / 101.0 - 0.5);
@@ -107,9 +123,41 @@ fn bench_op(method: &str, n: usize, op: &dyn CouplingOp, rows: &mut Vec<ApplySpe
             method: method.to_string(),
             n,
             block,
+            threads: 1,
             nnz: op.nnz(),
             ns_per_vector: ns,
             bit_equal,
+        });
+        // the threaded row: same inputs through the parallel executor,
+        // gated bit-for-bit against the serial blocked result. Rows
+        // record the workers the executor actually engages; when it
+        // would degrade to the inline serial path (1 worker) the row is
+        // skipped rather than re-measuring serial under a threaded label.
+        let engaged = pool.planned_workers(op, block);
+        if engaged <= 1 {
+            continue;
+        }
+        let mut yt = Mat::zeros(0, 0);
+        pool.apply_block_into(op, &x, &mut yt);
+        let mut t_equal = true;
+        for j in 0..block {
+            if yt.col(j) != yb.col(j) {
+                t_equal = false;
+            }
+        }
+        let label = format!("{method:<12} n={n:<5} b={block} t={engaged}");
+        let ns = timing::bench(&label, || {
+            pool.apply_block_into(op, std::hint::black_box(&x), &mut yt);
+            std::hint::black_box(&yt);
+        }) / block as f64;
+        rows.push(ApplySpeedRow {
+            method: method.to_string(),
+            n,
+            block,
+            threads: engaged,
+            nnz: op.nnz(),
+            ns_per_vector: ns,
+            bit_equal: t_equal,
         });
     }
 }
@@ -152,10 +200,14 @@ fn fwt_vs_csr_err(fast: &dyn CouplingOp, slow: &dyn CouplingOp, n: usize) -> f64
 }
 
 /// Runs the full comparison: every representation at every block width,
-/// on a quick grid (64 contacts) or the full sizes (256 and 1024 — the
-/// regime where the fast transform must win for the sparse serving claim
-/// to cash out).
-pub fn run_apply_speed(quick: bool) -> ApplySpeedReport {
+/// serial and on `threads` workers (1 skips the threaded rows), on a
+/// quick grid (64 contacts) or the full sizes (256 and 1024 — the regime
+/// where the fast transform must win for the sparse serving claim to
+/// cash out).
+pub fn run_apply_speed(quick: bool, threads: usize) -> ApplySpeedReport {
+    // resolve the knob up front (0 = one worker per CPU) so the threaded
+    // rows run — and record their real worker count — under `--threads 0`
+    let threads = subsparse::linalg::resolve_threads(threads);
     let sides: &[usize] = if quick { &[8] } else { &[16, 32] };
     let mut rows = Vec::new();
     let mut fwt_vs_csr_rel_err = 0.0_f64;
@@ -191,13 +243,13 @@ pub fn run_apply_speed(quick: bool) -> ApplySpeedReport {
         let s: Vec<f64> = (0..r).map(|i| 1.0 / (1.0 + i as f64)).collect();
         let factored = LowRankOp::new(u, s, v);
 
-        bench_op("dense", n, dense.matrix(), &mut rows);
-        bench_op("wavelet_raw", n, &wavelet_raw_csr, &mut rows);
-        bench_op("wavelet", n, &wavelet_gwt_csr, &mut rows);
-        bench_op("wavelet_fwt", n, &wavelet_gwt, &mut rows);
-        bench_op("lowrank", n, &lowrank.rep, &mut rows);
-        bench_op("lowrank_gwt", n, &thresh, &mut rows);
-        bench_op("factored", n, &factored, &mut rows);
+        bench_op("dense", n, dense.matrix(), threads, &mut rows);
+        bench_op("wavelet_raw", n, &wavelet_raw_csr, threads, &mut rows);
+        bench_op("wavelet", n, &wavelet_gwt_csr, threads, &mut rows);
+        bench_op("wavelet_fwt", n, &wavelet_gwt, threads, &mut rows);
+        bench_op("lowrank", n, &lowrank.rep, threads, &mut rows);
+        bench_op("lowrank_gwt", n, &thresh, threads, &mut rows);
+        bench_op("factored", n, &factored, threads, &mut rows);
     }
     ApplySpeedReport { rows, fwt_vs_csr_rel_err }
 }
@@ -208,21 +260,22 @@ pub fn format_rows(rows: &[ApplySpeedRow]) -> String {
     let mut out = String::new();
     writeln!(
         out,
-        "\n{:<12} {:>6} {:>6} {:>9} {:>12} {:>9} {:>6}",
-        "method", "n", "block", "nnz", "ns/vector", "speedup", "bits"
+        "\n{:<12} {:>6} {:>6} {:>7} {:>9} {:>12} {:>9} {:>6}",
+        "method", "n", "block", "thr", "nnz", "ns/vector", "speedup", "bits"
     )
     .unwrap();
     for row in rows {
         let single = rows
             .iter()
-            .find(|r| r.method == row.method && r.n == row.n && r.block == 1)
+            .find(|r| r.method == row.method && r.n == row.n && r.block == 1 && r.threads == 1)
             .map_or(row.ns_per_vector, |r| r.ns_per_vector);
         writeln!(
             out,
-            "{:<12} {:>6} {:>6} {:>9} {:>12} {:>8.2}x {:>6}",
+            "{:<12} {:>6} {:>6} {:>7} {:>9} {:>12} {:>8.2}x {:>6}",
             row.method,
             row.n,
             row.block,
+            row.threads,
             row.nnz,
             format_ns(row.ns_per_vector),
             single / row.ns_per_vector,
@@ -244,11 +297,21 @@ mod tests {
     use super::*;
 
     #[test]
-    fn quick_rows_cover_methods_and_blocks() {
-        let report = run_apply_speed(true);
+    fn quick_rows_cover_methods_blocks_and_threads() {
+        let report = run_apply_speed(true, 2);
         let rows = &report.rows;
-        assert_eq!(rows.len(), 7 * BLOCK_WIDTHS.len());
-        assert!(rows.iter().all(|r| r.bit_equal), "a blocked apply diverged");
+        let serial = rows.iter().filter(|r| r.threads == 1).count();
+        let threaded: Vec<_> = rows.iter().filter(|r| r.threads > 1).collect();
+        assert_eq!(serial, 7 * BLOCK_WIDTHS.len());
+        // every wide block engages both workers; 1-column blocks engage a
+        // second worker only on the row-shardable dense matrix (the
+        // structured representations degrade to serial there, and no row
+        // is emitted rather than re-measuring serial under a threaded
+        // label)
+        assert_eq!(threaded.len(), 7 * 2 + 1);
+        assert!(threaded.iter().all(|r| r.threads == 2));
+        assert!(threaded.iter().filter(|r| r.block == 1).all(|r| r.method == "dense"));
+        assert!(rows.iter().all(|r| r.bit_equal), "an apply diverged");
         assert!(rows.iter().all(|r| r.ns_per_vector > 0.0));
         assert!(
             report.fwt_vs_csr_rel_err <= FWT_CSR_TOL,
@@ -257,9 +320,14 @@ mod tests {
         );
         let json = rows_json(rows);
         assert!(json.contains("\"method\":\"wavelet_fwt\"") && json.contains("\"block\":32"));
+        assert!(json.contains("\"threads\":1") && json.contains("\"threads\":2"));
         assert!(format_rows(rows).contains("dense"));
         // the factored transform must store less than the flat-Q rows
         let nnz_of = |m: &str| rows.iter().find(|r| r.method == m).unwrap().nnz;
         assert!(nnz_of("wavelet_fwt") < nnz_of("wavelet"));
+        // threads = 1 keeps the historical shape: serial rows only
+        let serial_only = run_apply_speed(true, 1);
+        assert_eq!(serial_only.rows.len(), 7 * BLOCK_WIDTHS.len());
+        assert!(serial_only.rows.iter().all(|r| r.threads == 1));
     }
 }

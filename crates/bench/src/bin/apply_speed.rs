@@ -4,26 +4,42 @@
 //! explicit-CSR fallback).
 //!
 //! ```text
-//! cargo run --release -p subsparse-bench --bin apply_speed -- [--quick] [--json]
+//! cargo run --release -p subsparse-bench --bin apply_speed -- \
+//!     [--quick] [--json] [--threads T]
 //! ```
 //!
 //! `--json` additionally writes `BENCH_apply_speed.json`
-//! (method × n × block-width → ns/vector), the perf-trajectory file CI
-//! tracks. Exits nonzero if any blocked apply fails to bit-agree with its
-//! looped counterpart, **or** if the fast-wavelet-transform path diverges
-//! from the explicit-CSR path beyond the `FWT_CSR_TOL` tolerance, so CI
-//! can use it as a smoke test for both contracts.
+//! (method × n × block-width × thread-count → ns/vector), the
+//! perf-trajectory file CI tracks. `--threads T` sets the worker count of
+//! the thread-parallel rows (default 2; `--threads 1` drops them,
+//! `--threads 0` uses one worker per CPU). Exits nonzero if any blocked
+//! or thread-parallel apply fails to bit-agree with its serial
+//! counterpart, **or** if the fast-wavelet-transform path diverges from
+//! the explicit-CSR path beyond the `FWT_CSR_TOL` tolerance, so CI can
+//! use it as a smoke test for all three contracts.
 
 use std::process::ExitCode;
 
-use subsparse_bench::apply_speed::{format_rows, rows_json, run_apply_speed, FWT_CSR_TOL};
+use subsparse_bench::apply_speed::{
+    format_rows, rows_json, run_apply_speed, DEFAULT_THREADS, FWT_CSR_TOL,
+};
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let quick = args.iter().any(|a| a == "--quick");
     let json = args.iter().any(|a| a == "--json");
+    let threads = match args.iter().position(|a| a == "--threads") {
+        None => DEFAULT_THREADS,
+        Some(i) => match args.get(i + 1).and_then(|v| v.parse().ok()) {
+            Some(t) => t,
+            None => {
+                eprintln!("error: --threads needs a count (0 = one per CPU)");
+                return ExitCode::FAILURE;
+            }
+        },
+    };
 
-    let report = run_apply_speed(quick);
+    let report = run_apply_speed(quick, threads);
     print!("{}", format_rows(&report.rows));
     println!(
         "\nfwt vs explicit-csr wavelet apply: max rel err {:.3e} (tolerance {FWT_CSR_TOL:.0e})",
@@ -38,7 +54,7 @@ fn main() -> ExitCode {
         println!("wrote {path}");
     }
     if report.rows.iter().any(|r| !r.bit_equal) {
-        eprintln!("error: a blocked apply diverged from the per-vector apply");
+        eprintln!("error: a blocked or thread-parallel apply diverged from the serial apply");
         return ExitCode::FAILURE;
     }
     if report.fwt_vs_csr_rel_err > FWT_CSR_TOL {

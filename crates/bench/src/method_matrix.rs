@@ -85,16 +85,17 @@ pub fn format_matrix(cells: &[MatrixCell]) -> String {
 /// Serializes graded cells as a machine-readable JSON array — one object
 /// per successful (layout, method) cell with the cost/quality numbers CI
 /// and dashboards track: method, n, solves, build wall-ns, apply
-/// wall-ns (single-vector and per-vector-blocked), nonzero ratio, and the
-/// relative Frobenius error.
+/// wall-ns (single-vector, per-vector-blocked, and per-vector through
+/// the thread-parallel executor with its worker count), nonzero ratio,
+/// and the relative Frobenius error.
 pub fn matrix_json(cells: &[MatrixCell]) -> String {
     let body: Vec<String> = cells
         .iter()
         .filter_map(|cell| cell.report.as_ref().ok().map(|r| (cell.layout, r)))
         .map(|(layout, r)| {
             format!(
-                "  {{\"layout\":\"{layout}\",\"method\":\"{}\",\"n\":{},\"solves\":{},\"wall_ns\":{:.0},\"apply_ns\":{:.0},\"apply_block_ns\":{:.0},\"nnz_ratio\":{:.6},\"rel_fro_error\":{:.6e}}}",
-                r.method, r.n, r.solves, r.build_ms * 1e6, r.apply_ns, r.apply_block_ns, r.nnz_ratio, r.rel_fro_error,
+                "  {{\"layout\":\"{layout}\",\"method\":\"{}\",\"n\":{},\"solves\":{},\"wall_ns\":{:.0},\"apply_ns\":{:.0},\"apply_block_ns\":{:.0},\"apply_block_threaded_ns\":{:.0},\"threads\":{},\"nnz_ratio\":{:.6},\"rel_fro_error\":{:.6e}}}",
+                r.method, r.n, r.solves, r.build_ms * 1e6, r.apply_ns, r.apply_block_ns, r.apply_block_threaded_ns, r.eval_threads, r.nnz_ratio, r.rel_fro_error,
             )
         })
         .collect();

@@ -47,7 +47,7 @@ USAGE:
   subsparse-cli sparsify [--method NAME|all] [options]
   subsparse-cli info     --model STEM
   subsparse-cli apply    --model STEM --contact K [--volts V]
-                         [--repeat R] [--block B] [--path P]
+                         [--repeat R] [--block B] [--path P] [--threads T]
   subsparse-cli help
 
 EXTRACT OPTIONS:
@@ -96,6 +96,10 @@ APPLY OPTIONS (serving):
   --path P            serving path: auto (default: fast wavelet transform
                       when the model carries one) | fwt (require it) |
                       csr (force the explicit-CSR fallback)
+  --threads T         additionally time the blocked applies through the
+                      thread-parallel serving executor on T workers
+                      (default 1; 0 = one per CPU); results are
+                      bit-identical for every T, speedup needs cores
 ";
 
 fn run(args: &[String]) -> Result<(), String> {
@@ -332,7 +336,7 @@ fn cmd_sparsify(args: &[String]) -> Result<(), String> {
         sopts.target_sparsity
     );
     println!("{}", MethodReport::header());
-    let eval_opts = EvalOptions::default();
+    let eval_opts = EvalOptions { threads, ..Default::default() };
     for method in &methods {
         let outcome = method
             .build()
@@ -376,6 +380,7 @@ fn cmd_apply(args: &[String]) -> Result<(), String> {
     let volts: f64 = opts.get_parsed("volts", 1.0)?;
     let repeat: usize = opts.get_parsed("repeat", 1)?.max(1);
     let block: usize = opts.get_parsed("block", 1)?.max(1);
+    let threads: usize = opts.get_parsed("threads", 1)?;
     let rep = BasisRep::load(&stem).map_err(|e| format!("loading model: {e}"))?;
     let rep = match opts.get("path").unwrap_or("auto") {
         "auto" => rep,
@@ -408,19 +413,30 @@ fn cmd_apply(args: &[String]) -> Result<(), String> {
     // serving throughput: repeated applies through the zero-alloc paths,
     // measured by the shared eval-harness protocol
     println!("{}", subsparse::spy::op_summary(&rep));
-    let eval_opts = EvalOptions { apply_iters: repeat, apply_block: block, ..Default::default() };
-    let (single_ns, block_ns) = time_applies(&rep, &eval_opts);
+    let eval_opts =
+        EvalOptions { apply_iters: repeat, apply_block: block, threads, ..Default::default() };
+    let t = time_applies(&rep, &eval_opts);
     println!(
         "single-vector: {repeat} applies, {:.0} ns/vector, {:.3} MV/s",
-        single_ns,
-        1e3 / single_ns
+        t.apply_ns,
+        1e3 / t.apply_ns
     );
     if block > 1 {
         println!(
             "blocked ({block} wide): {:.0} ns/vector, {:.3} MV/s ({:.2}x vs single)",
-            block_ns,
-            1e3 / block_ns,
-            single_ns / block_ns,
+            t.apply_block_ns,
+            1e3 / t.apply_block_ns,
+            t.apply_ns / t.apply_block_ns,
+        );
+    }
+    if t.threads > 1 {
+        println!(
+            "threaded ({} workers, {block} wide): {:.0} ns/vector, {:.3} MV/s ({:.2}x vs blocked; \
+             bit-identical output)",
+            t.threads,
+            t.apply_block_threaded_ns,
+            1e3 / t.apply_block_threaded_ns,
+            t.apply_block_ns / t.apply_block_threaded_ns,
         );
     }
     Ok(())

@@ -127,5 +127,5 @@ pub use subsparse_sparsify::{Method, Sparsifier, SparsifyError, SparsifyOptions,
 // The types that almost every user touches, re-exported at the root.
 pub use subsparse_hier::BasisRep;
 pub use subsparse_layout::{Contact, Layout, Rect};
-pub use subsparse_linalg::{ApplyWorkspace, CouplingOp, LowRankOp};
+pub use subsparse_linalg::{ApplyWorkspace, CouplingOp, LowRankOp, ParallelApply};
 pub use subsparse_substrate::{Backplane, Layer, Substrate, SubstrateSolver};

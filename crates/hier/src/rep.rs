@@ -144,8 +144,15 @@ impl BasisRep {
     /// `O(n * nnz)`), as one blocked apply of the identity instead of `n`
     /// allocating matvecs.
     pub fn to_dense(&self) -> Mat {
+        self.to_dense_threaded(1)
+    }
+
+    /// [`to_dense`](Self::to_dense) on `threads` worker threads (0 =
+    /// auto) — bit-identical to the serial materialization for every
+    /// thread count.
+    pub fn to_dense_threaded(&self, threads: usize) -> Mat {
         let cols: Vec<usize> = (0..self.n()).collect();
-        self.dense_columns(&cols)
+        self.dense_columns_threaded(&cols, threads)
     }
 
     /// Materializes selected columns of the represented `G`, panel by
@@ -153,29 +160,62 @@ impl BasisRep {
     /// applying unit vectors one at a time, minus the per-column
     /// allocations.
     pub fn dense_columns(&self, cols: &[usize]) -> Mat {
-        const PANEL: usize = 32;
+        self.dense_columns_threaded(cols, 1)
+    }
+
+    /// [`dense_columns`](Self::dense_columns) with the column list cut
+    /// into contiguous shards served by `threads` scoped workers (0 =
+    /// auto), each running the serial panel loop with its own workspace
+    /// into a disjoint column range of the output. Every column is the
+    /// serial kernel's own bits, so the threaded materialization is
+    /// bit-identical to [`dense_columns`](Self::dense_columns) for every
+    /// thread count.
+    pub fn dense_columns_threaded(&self, cols: &[usize], threads: usize) -> Mat {
         let n = self.n();
         let mut g = Mat::zeros(n, cols.len());
+        let workers = subsparse_linalg::resolve_threads(threads).min(cols.len()).max(1);
+        if workers <= 1 {
+            self.fill_columns(cols, &mut g);
+            return g;
+        }
+        let w = cols.len().div_ceil(workers);
+        std::thread::scope(|scope| {
+            for (k, panel) in g.col_chunks_mut(w).enumerate() {
+                let shard = &cols[k * w..(k * w + panel.len() / n.max(1)).min(cols.len())];
+                scope.spawn(move || {
+                    let mut out = Mat::zeros(n, shard.len());
+                    self.fill_columns(shard, &mut out);
+                    panel.copy_from_slice(out.data());
+                });
+            }
+        });
+        g
+    }
+
+    /// The shared materialization core: writes `G(:, cols)` into the
+    /// leading columns of `g`, 32 columns per blocked apply.
+    fn fill_columns(&self, cols: &[usize], g: &mut Mat) {
+        const PANEL: usize = 32;
+        let n = self.n();
         let mut ws = ApplyWorkspace::new();
         let mut e = Mat::zeros(0, 0);
         let mut y = Mat::zeros(0, 0);
-        let mut k0 = 0;
-        while k0 < cols.len() {
-            let k1 = (k0 + PANEL).min(cols.len());
-            e.resize(n, k1 - k0);
+        let mut p0 = 0;
+        while p0 < cols.len() {
+            let p1 = (p0 + PANEL).min(cols.len());
+            e.resize(n, p1 - p0);
             for ej in e.cols_mut() {
                 ej.fill(0.0);
             }
-            for (k, &j) in cols[k0..k1].iter().enumerate() {
+            for (k, &j) in cols[p0..p1].iter().enumerate() {
                 e.col_mut(k)[j] = 1.0;
             }
             self.apply_block_into(&e, &mut y, &mut ws);
-            for k in k0..k1 {
-                g.col_mut(k).copy_from_slice(y.col(k - k0));
+            for k in p0..p1 {
+                g.col_mut(k).copy_from_slice(y.col(k - p0));
             }
-            k0 = k1;
+            p0 = p1;
         }
-        g
     }
 
     /// Drops entries of `Gw` with `|value| <= threshold` (thesis `Gwt`).

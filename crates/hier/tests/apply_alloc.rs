@@ -11,7 +11,9 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 
 use subsparse_hier::fwt::{FwtLevel, FwtNode};
 use subsparse_hier::{BasisRep, FastWaveletTransform};
-use subsparse_linalg::{svd, ApplyWorkspace, CouplingOp, Csr, LowRankOp, Mat, Triplets};
+use subsparse_linalg::{
+    svd, ApplyWorkspace, CouplingOp, Csr, LowRankOp, Mat, ParallelApply, Triplets,
+};
 
 /// Forwards to the system allocator, counting allocations.
 struct CountingAlloc;
@@ -107,6 +109,73 @@ fn apply_into_is_allocation_free_after_warmup() {
         }
     });
     assert_eq!(fwt_allocs, 0, "fwt path allocated after warm-up");
+
+    // --- the thread-parallel executor ---
+    //
+    // With one worker the executor serves inline (no spawn at all), so
+    // the full zero-allocation contract applies to it directly.
+    let mut pool1 = ParallelApply::new(1);
+    let mut yp = Mat::zeros(0, 0);
+    for op in [&dense as &(dyn CouplingOp + Sync), &sparse, &rep, &lowrank] {
+        pool1.warm(op, 8);
+        pool1.apply_block_into(op, &xb, &mut yp);
+        let allocs = allocations_during(|| {
+            for _ in 0..16 {
+                pool1.apply_block_into(op, &xb, &mut yp);
+            }
+        });
+        assert_eq!(allocs, 0, "{}: 1-worker executor allocated after warm-up", op.kind());
+    }
+
+    // With several workers the per-call scoped-thread launch necessarily
+    // allocates (stacks, join state — the harness, not the serving
+    // path). The serving contract is that each worker's *work* — stage
+    // the panel, apply through its slot, publish — allocates nothing
+    // after warm-up. Measured: the cheapest steady-state threaded apply
+    // must cost exactly the allocations of launching the same number of
+    // empty scoped workers, i.e. serving adds zero on top of the
+    // harness. Both sides take the minimum over several calls because
+    // the spawn cost itself is timing-dependent (libc returns a worker's
+    // stack to its cache asynchronously; a launch that races that
+    // teardown pays an extra stack allocation) — the minimum is the
+    // cache-hit cost, which is deterministic.
+    let workers = 2;
+    let mut pool = ParallelApply::new(workers);
+    for op in [&dense as &(dyn CouplingOp + Sync), &sparse, &rep, &lowrank] {
+        pool.warm(op, 8);
+        for _ in 0..4 {
+            pool.apply_block_into(op, &xb, &mut yp); // settle thread-stack caches
+        }
+        let baseline = empty_scope_allocations(workers);
+        let threaded = (0..8)
+            .map(|_| allocations_during(|| pool.apply_block_into(op, &xb, &mut yp)))
+            .min()
+            .expect("nonempty");
+        assert_eq!(
+            threaded,
+            baseline,
+            "{}: threaded serving allocated beyond the {baseline}-alloc spawn harness per call",
+            op.kind()
+        );
+    }
+}
+
+/// Allocations of one `std::thread::scope` launching `workers` no-op
+/// workers — the per-call cost of the thread harness itself: minimum
+/// over several launches after a settle run, so OS/libc thread-stack
+/// caches are warm and teardown races are filtered out.
+fn empty_scope_allocations(workers: usize) -> usize {
+    let run = || {
+        std::thread::scope(|scope| {
+            for _ in 0..workers {
+                scope.spawn(|| std::hint::black_box(()));
+            }
+        });
+    };
+    for _ in 0..4 {
+        run();
+    }
+    (0..8).map(|_| allocations_during(run)).min().expect("nonempty")
 }
 
 /// A 2-level quadtree-style transform on 8 contacts: four finest pairs,

@@ -1,11 +1,17 @@
 //! Contract suite for the `CouplingOp` serving layer: on every
 //! implementation in the workspace, a blocked apply must be bit-identical,
 //! column for column, to the per-vector apply — for one-column blocks,
-//! panel-divisible widths, and widths that straddle panel boundaries.
+//! panel-divisible widths, and widths that straddle panel boundaries —
+//! and the thread-parallel executor must reproduce the serial bits for
+//! every worker count (1, several, auto, and more workers than the
+//! operator has rows or columns).
 
-use subsparse_hier::BasisRep;
+use subsparse_hier::fwt::{FwtLevel, FwtNode};
+use subsparse_hier::{BasisRep, FastWaveletTransform};
 use subsparse_linalg::rng::SmallRng;
-use subsparse_linalg::{svd, ApplyWorkspace, CouplingOp, Csr, LowRankOp, Mat, Triplets};
+use subsparse_linalg::{
+    svd, ApplyWorkspace, CouplingOp, Csr, LowRankOp, Mat, ParallelApply, Triplets,
+};
 
 /// Deterministic dense matrix with a sprinkling of exact zeros (the
 /// kernels skip zero inputs, so zeros must be exercised).
@@ -68,6 +74,113 @@ fn assert_block_bit_agrees(op: &dyn CouplingOp, label: &str) {
             assert_eq!(convenience.col(j), blocked.col(j), "{label}: apply_block diverged");
         }
     }
+}
+
+/// The thread-parallel contract: for every worker count, the executor's
+/// output is bit-identical to the serial blocked apply (whose columns
+/// `assert_block_bit_agrees` already pins to the per-vector apply) — on
+/// one-column blocks, widths that straddle both the internal panels and
+/// the per-worker shard boundaries, and operators smaller than the
+/// worker count.
+fn assert_parallel_bit_agrees(op: &(dyn CouplingOp + Sync), label: &str) {
+    let n = op.n();
+    let mut ws = ApplyWorkspace::new();
+    let mut serial = Mat::zeros(0, 0);
+    let mut threaded = Mat::zeros(0, 0);
+    // 1, 2, auto-detected, and more workers than rows/columns
+    for threads in [1usize, 2, 0, n + 7] {
+        let mut pool = ParallelApply::new(threads);
+        for block in [1usize, 3, 8, 11] {
+            let x = random_mat(n, block, 0xBEEF ^ (threads as u64) << 8 ^ block as u64);
+            op.apply_block_into(&x, &mut serial, &mut ws);
+            pool.apply_block_into(op, &x, &mut threaded);
+            assert_eq!(threaded.n_rows(), n, "{label}: threads {threads} wrong rows");
+            assert_eq!(threaded.n_cols(), block, "{label}: threads {threads} wrong cols");
+            for j in 0..block {
+                for i in 0..n {
+                    assert_eq!(
+                        threaded[(i, j)],
+                        serial[(i, j)],
+                        "{label}: threads {threads}, block {block}, ({i}, {j}) diverged"
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn parallel_apply_bit_agrees_on_every_representation() {
+    let dense = random_mat(37, 37, 21);
+    assert_parallel_bit_agrees(&dense, "dense");
+    let sparse = random_csr(41, 41, 0.2, 22);
+    assert_parallel_bit_agrees(&sparse, "csr");
+    let rep = BasisRep::new(random_csr(45, 45, 0.3, 23), random_csr(45, 45, 0.4, 24));
+    assert_parallel_bit_agrees(&rep, "basis-rep");
+    let g = random_mat(33, 33, 25);
+    let lr = LowRankOp::from_svd(&svd::svd(&g), 6);
+    assert_parallel_bit_agrees(&lr, "lowrank-factored");
+    // the fast-wavelet-transform serving path threads like the rest
+    let fwt_rep = haar8_rep();
+    assert_eq!(fwt_rep.kind(), "basis-rep-fwt");
+    assert_parallel_bit_agrees(&fwt_rep, "basis-rep-fwt");
+}
+
+#[test]
+fn parallel_apply_handles_ops_smaller_than_the_worker_pool() {
+    // n = 3 with 8 workers: fewer shards than workers on both axes
+    let tiny = random_mat(3, 3, 31);
+    let mut pool = ParallelApply::new(8);
+    for block in [1usize, 2, 5] {
+        let x = random_mat(3, block, 32 + block as u64);
+        let serial = tiny.apply_block(&x);
+        let threaded = pool.apply_block(&tiny, &x);
+        for j in 0..block {
+            assert_eq!(threaded.col(j), serial.col(j), "tiny op, block {block}");
+        }
+    }
+}
+
+/// An 8-contact, 2-level Haar-style `BasisRep` with a fast transform
+/// attached (mirrors the hierarchy used by the allocation tests).
+fn haar8_rep() -> BasisRep {
+    let r = 0.5f64.sqrt();
+    let mut blocks = Vec::new();
+    for _ in 0..4 {
+        blocks.extend_from_slice(&[r, r, r, -r]);
+    }
+    blocks.extend_from_slice(&[
+        0.5, 0.5, 0.5, 0.5, 0.5, -0.5, 0.5, -0.5, 0.5, 0.5, -0.5, -0.5, 0.5, -0.5, -0.5, 0.5,
+    ]);
+    let finest = FwtLevel {
+        nodes: (0..4)
+            .map(|s| FwtNode {
+                in_offset: 2 * s,
+                in_len: 2,
+                v_cols: 1,
+                w_cols: 1,
+                out_offset: s,
+                col_start: 4 + s,
+                block_offset: 4 * s,
+            })
+            .collect(),
+        coeff_len: 4,
+    };
+    let root = FwtLevel {
+        nodes: vec![FwtNode {
+            in_offset: 0,
+            in_len: 4,
+            v_cols: 1,
+            w_cols: 3,
+            out_offset: 0,
+            col_start: 1,
+            block_offset: 16,
+        }],
+        coeff_len: 1,
+    };
+    let fwt = FastWaveletTransform::from_parts(8, 1, vec![finest, root], (0..8).collect(), blocks)
+        .unwrap();
+    BasisRep::with_fwt(Csr::identity(8), random_csr(8, 8, 0.5, 26), fwt)
 }
 
 #[test]

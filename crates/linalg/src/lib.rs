@@ -46,6 +46,6 @@ pub mod tridiag;
 
 pub use cg::{cg, pcg, CgResult, IdentityPrecond, LinOp};
 pub use mat::{axpy, dot, nrm2, Mat};
-pub use op::{ApplyWorkspace, CouplingOp, LowRankOp};
+pub use op::{resolve_threads, ApplyWorkspace, CouplingOp, LowRankOp, ParallelApply};
 pub use sparse::{Csr, SymmetricAccumulator, Triplets};
 pub use svd::{svd, Svd};

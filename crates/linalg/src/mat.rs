@@ -121,6 +121,17 @@ impl Mat {
         self.data.chunks_mut(self.n_rows.max(1))
     }
 
+    /// Iterator of mutable contiguous *column-panel* slices: each item
+    /// covers `cols_per_chunk` consecutive columns (the last may be
+    /// narrower). Column-major storage makes every panel one contiguous
+    /// `&mut [f64]`, and the panels are disjoint — this is what lets the
+    /// parallel serving executor hand each worker thread its own column
+    /// range of the output with no unsafe code and no copies on the
+    /// result side.
+    pub fn col_chunks_mut(&mut self, cols_per_chunk: usize) -> impl Iterator<Item = &mut [f64]> {
+        self.data.chunks_mut((self.n_rows * cols_per_chunk).max(1))
+    }
+
     /// Computes `y = A x`.
     ///
     /// # Panics
@@ -232,6 +243,44 @@ impl Mat {
                     let bkj = bj[k];
                     if bkj != 0.0 {
                         axpy(bkj, self.col(k), cj);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Rows `[i0, i1)` of the product `A * B`, into `c` (resized to
+    /// `(i1 - i0) x b.n_cols()`).
+    ///
+    /// Each output entry accumulates its `k` terms in exactly the order
+    /// [`matmul_into`](Self::matmul_into) uses (ascending `k`, zero
+    /// multipliers skipped), so a row-sharded product reassembled from
+    /// disjoint ranges is **bit-identical** to the full product — the
+    /// contract the parallel serving executor relies on when it splits a
+    /// narrow block across workers by rows instead of columns.
+    ///
+    /// # Panics
+    ///
+    /// Panics on inner-dimension mismatch or an out-of-range row span.
+    pub fn matmul_rows_into(&self, b: &Mat, i0: usize, i1: usize, c: &mut Mat) {
+        assert_eq!(self.n_cols, b.n_rows, "matmul_rows dimension mismatch");
+        assert!(i0 <= i1 && i1 <= self.n_rows, "matmul_rows row span out of range");
+        c.resize(i1 - i0, b.n_cols());
+        for cj in c.cols_mut() {
+            cj.fill(0.0);
+        }
+        // same k-panel size as the full kernel; blocking affects only the
+        // (k, j) traversal order, never an entry's own accumulation order
+        let kb = (32 * 1024 / self.n_rows.max(1)).max(8).min(self.n_cols.max(1));
+        for k0 in (0..self.n_cols).step_by(kb) {
+            let k1 = (k0 + kb).min(self.n_cols);
+            for j in 0..b.n_cols() {
+                let bj = b.col(j);
+                let cj = c.col_mut(j);
+                for k in k0..k1 {
+                    let bkj = bj[k];
+                    if bkj != 0.0 {
+                        axpy(bkj, &self.col(k)[i0..i1], cj);
                     }
                 }
             }
@@ -519,6 +568,47 @@ mod tests {
         let e = Mat::zeros(0, 0);
         assert_eq!(e.hcat(&b).n_cols(), 3);
         assert_eq!(b.hcat(&e).n_cols(), 3);
+    }
+
+    #[test]
+    fn matmul_rows_is_bit_identical_to_full_product() {
+        // 70 rows crosses the k-panel boundary logic; sprinkle zeros so
+        // the skip branches run
+        let a = Mat::from_fn(70, 23, |i, j| {
+            if (i + j) % 5 == 0 {
+                0.0
+            } else {
+                (i * 23 + j) as f64 * 0.01 - 3.0
+            }
+        });
+        let b = Mat::from_fn(23, 6, |i, j| {
+            if (i * j) % 4 == 3 {
+                0.0
+            } else {
+                (i + 2 * j) as f64 * 0.3 - 1.0
+            }
+        });
+        let full = a.matmul(&b);
+        let mut part = Mat::zeros(0, 0);
+        for (i0, i1) in [(0, 70), (0, 1), (13, 41), (69, 70), (20, 20)] {
+            a.matmul_rows_into(&b, i0, i1, &mut part);
+            assert_eq!(part.n_rows(), i1 - i0);
+            for j in 0..6 {
+                for i in i0..i1 {
+                    assert_eq!(part[(i - i0, j)], full[(i, j)], "rows {i0}..{i1} entry ({i},{j})");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn col_chunks_are_disjoint_panels() {
+        let mut m = Mat::from_fn(3, 7, |i, j| (10 * j + i) as f64);
+        let chunks: Vec<Vec<f64>> = m.col_chunks_mut(3).map(|c| c.to_vec()).collect();
+        assert_eq!(chunks.len(), 3);
+        assert_eq!(chunks[0].len(), 9);
+        assert_eq!(chunks[2].len(), 3); // ragged tail panel
+        assert_eq!(chunks[1][0], 30.0); // first entry of column 3
     }
 
     #[test]

@@ -33,6 +33,20 @@
 //! [`apply_into`](CouplingOp::apply_into) is already optimal and blocking
 //! buys nothing — which is why both entry points exist.
 //!
+//! ## Thread-parallel serving
+//!
+//! [`ParallelApply`] is the layer above: it shards one
+//! [`apply_block_into`](CouplingOp::apply_block_into) call across scoped
+//! worker threads — contiguous column panels when the block is wide
+//! enough to feed every worker, disjoint row ranges (for representations
+//! that support [`apply_rows_into`](CouplingOp::apply_rows_into)) when it
+//! is not. Every shard runs the unmodified serial kernel, so the
+//! assembled result is **bit-identical to the serial apply for every
+//! thread count** — the same determinism contract the batched extraction
+//! side (`solve_batch`) honors. Each worker owns a persistent
+//! [`ApplyWorkspace`] plus staging buffers, reused across calls, so the
+//! steady-state serving work allocates nothing per worker.
+//!
 //! # Example
 //!
 //! ```
@@ -48,6 +62,17 @@
 
 use crate::mat::Mat;
 use crate::sparse::Csr;
+
+/// Resolves a worker-thread knob: `0` means one worker per available CPU
+/// (the shared `threads: usize, 0 = auto` convention of `BatchOptions`
+/// and every CLI/bench flag in the workspace).
+pub fn resolve_threads(threads: usize) -> usize {
+    if threads == 0 {
+        std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+    } else {
+        threads
+    }
+}
 
 /// Reusable scratch space for [`CouplingOp`] applies.
 ///
@@ -147,6 +172,41 @@ pub trait CouplingOp {
         }
     }
 
+    /// Whether [`apply_rows_into`](Self::apply_rows_into) is implemented —
+    /// i.e. whether a blocked apply can be restricted to an output row
+    /// range *without redoing the dominant work per range*.
+    ///
+    /// True for the flat representations (dense, CSR), where every output
+    /// row is computed independently from its own stored values. The
+    /// structured pipelines decline: `BasisRep` and the fast wavelet
+    /// transform would re-run the full analysis half (`Q' x`, the
+    /// dominant stage) for every range, and `LowRankOp` would recompute
+    /// the rank-space product `s ∘ (V' x)` per range — row sharding would
+    /// then cost more total work than it parallelizes, so for those the
+    /// executor sticks to column sharding.
+    fn supports_row_shard(&self) -> bool {
+        false
+    }
+
+    /// Computes rows `[i0, i1)` of `Y = G X` into `y_rows` (resized to
+    /// `(i1 - i0) x x.n_cols()`), with every entry accumulated in exactly
+    /// the order the full [`apply_block_into`](Self::apply_block_into)
+    /// uses — so disjoint ranges reassemble bit-identically to one serial
+    /// apply.
+    ///
+    /// Only callable when [`supports_row_shard`](Self::supports_row_shard)
+    /// returns true; the default implementation panics.
+    fn apply_rows_into(
+        &self,
+        _x: &Mat,
+        _i0: usize,
+        _i1: usize,
+        _y_rows: &mut Mat,
+        _ws: &mut ApplyWorkspace,
+    ) {
+        panic!("{}: row-sharded apply is not supported", self.kind());
+    }
+
     /// Allocating convenience over [`apply_into`](Self::apply_into), for
     /// one-off applies outside the serving loop.
     fn apply_vec(&self, x: &[f64]) -> Vec<f64> {
@@ -184,6 +244,21 @@ impl CouplingOp for Mat {
     fn apply_block_into(&self, x: &Mat, y: &mut Mat, _ws: &mut ApplyWorkspace) {
         self.matmul_into(x, y);
     }
+
+    fn supports_row_shard(&self) -> bool {
+        true
+    }
+
+    fn apply_rows_into(
+        &self,
+        x: &Mat,
+        i0: usize,
+        i1: usize,
+        y_rows: &mut Mat,
+        _ws: &mut ApplyWorkspace,
+    ) {
+        self.matmul_rows_into(x, i0, i1, y_rows);
+    }
 }
 
 impl CouplingOp for Csr {
@@ -205,6 +280,258 @@ impl CouplingOp for Csr {
 
     fn apply_block_into(&self, x: &Mat, y: &mut Mat, _ws: &mut ApplyWorkspace) {
         self.matmul_dense_into(x, y);
+    }
+
+    fn supports_row_shard(&self) -> bool {
+        true
+    }
+
+    fn apply_rows_into(
+        &self,
+        x: &Mat,
+        i0: usize,
+        i1: usize,
+        y_rows: &mut Mat,
+        _ws: &mut ApplyWorkspace,
+    ) {
+        self.matmul_dense_rows_into(x, i0, i1, y_rows);
+    }
+}
+
+/// One worker's persistent serving state: its scratch workspace plus the
+/// staging panels a shard computes through. Buffers only grow, so after
+/// warm-up a worker's whole shard — stage the inputs, apply, publish the
+/// outputs — touches the allocator zero times.
+#[derive(Clone, Debug, Default)]
+struct WorkerSlot {
+    ws: ApplyWorkspace,
+    x: Mat,
+    y: Mat,
+}
+
+impl WorkerSlot {
+    /// One column shard: columns `[j0, j0 + w)` of `Y = G X`, where `w`
+    /// is implied by `y_panel` (a contiguous column-major panel of the
+    /// output). Stages the input columns into the slot, runs the serial
+    /// blocked kernel, and copies the result out — every column is the
+    /// serial kernel's own bits.
+    fn run_col_shard<O: CouplingOp + ?Sized>(
+        &mut self,
+        op: &O,
+        x: &Mat,
+        j0: usize,
+        y_panel: &mut [f64],
+    ) {
+        let n = op.n();
+        let w = y_panel.len() / n.max(1);
+        self.x.resize(n, w);
+        for (c, dst) in self.x.cols_mut().enumerate() {
+            dst.copy_from_slice(x.col(j0 + c));
+        }
+        op.apply_block_into(&self.x, &mut self.y, &mut self.ws);
+        y_panel.copy_from_slice(self.y.data());
+    }
+
+    /// One row shard: rows `[i0, i1)` of `Y = G X` into the slot's `y`
+    /// panel (published into the interleaved output by the caller after
+    /// the parallel scope ends — row ranges of a column-major matrix are
+    /// not contiguous, so workers cannot own disjoint slices of it).
+    fn run_row_shard<O: CouplingOp + ?Sized>(&mut self, op: &O, x: &Mat, i0: usize, i1: usize) {
+        op.apply_rows_into(x, i0, i1, &mut self.y, &mut self.ws);
+    }
+}
+
+/// A thread-parallel serving executor: one
+/// [`apply_block_into`](CouplingOp::apply_block_into) call, sharded
+/// across scoped worker threads.
+///
+/// The contract is the serving layer's, extended by one clause: for every
+/// thread count — including `0` (auto) and counts exceeding the block
+/// width or the contact count — the result is **bit-identical** to the
+/// serial apply. The executor guarantees this by construction: it never
+/// re-associates anything. A wide block is cut into contiguous column
+/// panels, each pushed through the unmodified serial blocked kernel
+/// (whose columns already bit-match the per-vector apply); a narrow block
+/// on a row-shardable representation ([`CouplingOp::supports_row_shard`])
+/// is cut into disjoint output row ranges, each accumulated in the serial
+/// kernel's own per-entry order. Determinism is enforced by the contract
+/// suite in `crates/hier/tests/coupling_contract.rs` and by the
+/// `apply_speed` CI gate.
+///
+/// Worker state — one [`ApplyWorkspace`] plus input/output staging panels
+/// per worker — lives in the executor and is reused across calls, so
+/// steady-state serving work performs no allocation per worker (pinned by
+/// `crates/hier/tests/apply_alloc.rs`; the scoped-thread launch itself is
+/// the one per-call cost outside the serving path). Construct once per
+/// serving loop, next to the operator, and feed it every block.
+///
+/// # Example
+///
+/// ```
+/// use subsparse_linalg::{CouplingOp, Mat, ParallelApply};
+///
+/// let g = Mat::from_fn(64, 64, |i, j| 1.0 / (1.0 + (i + j) as f64));
+/// let x = Mat::from_fn(64, 8, |i, j| (i * 8 + j) as f64);
+/// let mut pool = ParallelApply::new(2);
+/// let mut y = Mat::zeros(0, 0);
+/// pool.apply_block_into(&g, &x, &mut y); // bit-identical to g.apply_block(&x)
+/// assert_eq!(y.n_cols(), 8);
+/// ```
+#[derive(Clone, Debug)]
+pub struct ParallelApply {
+    threads: usize,
+    /// `threads` resolved once at construction: `available_parallelism`
+    /// consults cgroup files on Linux and std advises caching it, so the
+    /// auto mode must not re-query it on the per-apply hot path.
+    resolved: usize,
+    slots: Vec<WorkerSlot>,
+}
+
+/// Fewest output rows worth a worker of its own: below this, the
+/// scoped-thread launch costs more than the row shard it would compute.
+const MIN_ROWS_PER_SHARD: usize = 16;
+
+impl ParallelApply {
+    /// Creates an executor with the given worker count (`0` = one per
+    /// available CPU — the `BatchOptions` convention, resolved once
+    /// here). Worker scratch is grown lazily on first use; see
+    /// [`warm`](Self::warm).
+    pub fn new(threads: usize) -> Self {
+        ParallelApply { threads, resolved: resolve_threads(threads), slots: Vec::new() }
+    }
+
+    /// The requested worker-thread knob (possibly `0` = auto).
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// The resolved worker count (`0` resolved to the CPU count at
+    /// construction time).
+    pub fn resolved_threads(&self) -> usize {
+        self.resolved
+    }
+
+    /// How many workers an apply of `block` columns through `op` would
+    /// actually engage — the dispatch rule of
+    /// [`apply_block_into`](Self::apply_block_into) without running it.
+    /// `1` means the executor would serve inline (serial kernel, no
+    /// spawn), which callers benchmarking or scheduling threaded serving
+    /// can use to avoid mislabeling a degraded apply as parallel.
+    pub fn planned_workers<O: CouplingOp + ?Sized>(&self, op: &O, block: usize) -> usize {
+        let n = op.n();
+        if n == 0 || block == 0 {
+            return 1;
+        }
+        let t = self.resolved;
+        let row_shards = if op.supports_row_shard() { n / MIN_ROWS_PER_SHARD } else { 0 };
+        if t > block && row_shards > block {
+            let workers = t.min(row_shards);
+            // nonempty ranges after ceil rounding, exactly as dispatched
+            n.div_ceil(n.div_ceil(workers))
+        } else {
+            t.min(block)
+        }
+    }
+
+    /// Pre-grows every worker's scratch for serving `op` at blocks up to
+    /// `block` columns wide, so even the first threaded apply allocates
+    /// nothing inside the workers.
+    pub fn warm<O: CouplingOp + Sync + ?Sized>(&mut self, op: &O, block: usize) {
+        let x = Mat::zeros(op.n(), block.max(1));
+        let mut y = Mat::zeros(0, 0);
+        self.apply_block_into(op, &x, &mut y);
+        // the narrow-block (row-sharded / inline) path exercises different
+        // slot buffers than the wide path; warm both
+        if block > 1 {
+            let x1 = Mat::zeros(op.n(), 1);
+            self.apply_block_into(op, &x1, &mut y);
+        }
+    }
+
+    /// Applies `Y = G X` into `y` (resized and overwritten), sharded
+    /// across the executor's workers — bit-identical to
+    /// `op.apply_block_into(x, y, ws)` for every thread count.
+    ///
+    /// Sharding picks the axis that feeds the most workers without
+    /// duplicating work: contiguous column panels when the block has at
+    /// least one column per worker, disjoint row ranges when it does not
+    /// but the representation computes output rows independently
+    /// ([`CouplingOp::supports_row_shard`]); otherwise it degrades
+    /// gracefully to fewer workers (down to a plain inline serial apply,
+    /// which is also the `threads == 1` fast path — no spawn, no copy).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.n_rows()` differs from `op.n()`.
+    pub fn apply_block_into<O: CouplingOp + Sync + ?Sized>(
+        &mut self,
+        op: &O,
+        x: &Mat,
+        y: &mut Mat,
+    ) {
+        assert_eq!(x.n_rows(), op.n(), "parallel apply dimension mismatch");
+        let n = op.n();
+        let b = x.n_cols();
+        y.resize(n, b);
+        if n == 0 || b == 0 {
+            return;
+        }
+        let t = self.resolved_threads();
+        let row_shards = if op.supports_row_shard() { n / MIN_ROWS_PER_SHARD } else { 0 };
+        if t > b && row_shards > b {
+            // narrow block, shardable rows: row ranges feed more workers
+            // than columns can
+            let workers = t.min(row_shards);
+            let h = n.div_ceil(workers);
+            // ceil rounding can make the last range(s) empty (k*h >= n);
+            // iterate only the nonempty shards so every span stays in
+            // bounds
+            let shards = n.div_ceil(h);
+            self.ensure_slots(shards);
+            std::thread::scope(|scope| {
+                for (k, slot) in self.slots[..shards].iter_mut().enumerate() {
+                    let (i0, i1) = (k * h, ((k + 1) * h).min(n));
+                    scope.spawn(move || slot.run_row_shard(op, x, i0, i1));
+                }
+            });
+            // publish: row ranges interleave across the column-major
+            // output, so the gather happens after the scope
+            for (k, slot) in self.slots[..shards].iter().enumerate() {
+                let i0 = k * h;
+                for j in 0..b {
+                    let src = slot.y.col(j);
+                    y.col_mut(j)[i0..i0 + src.len()].copy_from_slice(src);
+                }
+            }
+            return;
+        }
+        let workers = t.min(b);
+        if workers <= 1 {
+            self.ensure_slots(1);
+            op.apply_block_into(x, y, &mut self.slots[0].ws);
+            return;
+        }
+        self.ensure_slots(workers);
+        let w = b.div_ceil(workers);
+        std::thread::scope(|scope| {
+            for ((k, slot), y_panel) in self.slots.iter_mut().enumerate().zip(y.col_chunks_mut(w)) {
+                scope.spawn(move || slot.run_col_shard(op, x, k * w, y_panel));
+            }
+        });
+    }
+
+    /// Allocating convenience over
+    /// [`apply_block_into`](Self::apply_block_into).
+    pub fn apply_block<O: CouplingOp + Sync + ?Sized>(&mut self, op: &O, x: &Mat) -> Mat {
+        let mut y = Mat::zeros(0, 0);
+        self.apply_block_into(op, x, &mut y);
+        y
+    }
+
+    fn ensure_slots(&mut self, workers: usize) {
+        if self.slots.len() < workers {
+            self.slots.resize_with(workers, WorkerSlot::default);
+        }
     }
 }
 
@@ -330,6 +657,89 @@ mod tests {
         for (a, e) in approx.iter().zip(&exact) {
             assert!((a - e).abs() < 1e-10, "{a} vs {e}");
         }
+    }
+
+    #[test]
+    fn parallel_apply_is_bit_identical_on_both_axes() {
+        let n = 67;
+        let g = Mat::from_fn(n, n, |i, j| ((i * 31 + j * 7) % 23) as f64 / 23.0 - 0.4);
+        let sparse = Csr::from_dense(&g, 0.6);
+        let mut pool = ParallelApply::new(3);
+        assert_eq!(pool.threads(), 3);
+        assert!(pool.resolved_threads() >= 1);
+        let ops: [&(dyn CouplingOp + Sync); 2] = [&g, &sparse];
+        for op in ops {
+            // wide block -> column shards; 1-column block -> row shards
+            // (both impls support them); widths that straddle shard
+            // boundaries
+            for b in [1usize, 2, 3, 7, 12] {
+                let x = Mat::from_fn(n, b, |i, j| ((i * 13 + j * 5) % 19) as f64 - 9.0);
+                let serial = op.apply_block(&x);
+                let threaded = pool.apply_block(op, &x);
+                for j in 0..b {
+                    assert_eq!(threaded.col(j), serial.col(j), "b={b} column {j} diverged");
+                }
+            }
+        }
+        // more workers than rows and columns still agrees
+        let tiny = Mat::from_fn(3, 3, |i, j| (i + j) as f64);
+        let x = Mat::from_fn(3, 2, |i, j| (i * 2 + j) as f64);
+        let mut wide_pool = ParallelApply::new(16);
+        assert_eq!(wide_pool.apply_block(&tiny, &x).col(0), tiny.apply_block(&x).col(0));
+        // planned_workers mirrors the dispatch rule: rows feed 3 workers
+        // on a 1-column block, columns cap the wide block at 3
+        assert_eq!(pool.planned_workers(&g, 1), 3);
+        assert_eq!(pool.planned_workers(&g, 7), 3);
+        assert_eq!(pool.planned_workers(&sparse, 2), 3); // row path: 4 shards capped at 3
+                                                         // a non-row-shardable op degrades to serial on a 1-column block
+        let f = svd(&g);
+        let lr = LowRankOp::from_svd(&f, 2);
+        assert_eq!(pool.planned_workers(&lr, 1), 1);
+        assert_eq!(pool.planned_workers(&lr, 6), 3);
+        // auto thread count (0) resolves and serves
+        let mut auto_pool = ParallelApply::new(0);
+        assert!(auto_pool.resolved_threads() >= 1);
+        auto_pool.warm(&g, 4);
+        let x = Mat::from_fn(n, 4, |i, j| (i + j) as f64);
+        assert_eq!(auto_pool.apply_block(&g, &x).data(), g.apply_block(&x).data());
+    }
+
+    #[test]
+    fn row_sharding_survives_ceil_rounding_making_trailing_shards_empty() {
+        // n = 305 with 19 workers: h = ceil(305/19) = 17, and 18 * 17 =
+        // 306 > 305, so the last worker's range would start past the end
+        // — the executor must iterate only the 18 nonempty shards
+        // (regression: this panicked with "row span out of range")
+        let n = 305;
+        let g = Mat::from_fn(n, n, |i, j| {
+            if (i * 7 + j) % 9 == 0 {
+                0.0
+            } else {
+                1.0 / (1.0 + (i + j) as f64)
+            }
+        });
+        let sparse = Csr::from_dense(&g, 0.01);
+        let mut pool = ParallelApply::new(19);
+        for b in [1usize, 2] {
+            let x = Mat::from_fn(n, b, |i, j| ((i * 3 + j) % 11) as f64 - 5.0);
+            let ops: [&(dyn CouplingOp + Sync); 2] = [&g, &sparse];
+            for op in ops {
+                let threaded = pool.apply_block(op, &x);
+                let serial = op.apply_block(&x);
+                assert_eq!(threaded.data(), serial.data(), "b={b}");
+            }
+        }
+    }
+
+    #[test]
+    fn row_shard_support_matches_documentation() {
+        let g = Mat::identity(4);
+        let s = Csr::identity(4);
+        let f = svd(&g);
+        let lr = LowRankOp::from_svd(&f, 2);
+        assert!(CouplingOp::supports_row_shard(&g));
+        assert!(CouplingOp::supports_row_shard(&s));
+        assert!(!lr.supports_row_shard());
     }
 
     #[test]

@@ -9,7 +9,7 @@
 use std::fmt::Write as _;
 use std::time::Instant;
 
-use subsparse_linalg::{ApplyWorkspace, CouplingOp, Mat};
+use subsparse_linalg::{ApplyWorkspace, CouplingOp, Mat, ParallelApply};
 use subsparse_substrate::{solver::extract_columns, SubstrateSolver};
 
 use crate::metrics::{frac_above, rel_fro_error};
@@ -29,11 +29,22 @@ pub struct EvalOptions {
     /// Column count of the blocked apply-time measurement (the serving
     /// workload of a multi-excitation circuit simulation).
     pub apply_block: usize,
+    /// Worker threads for the threaded serving measurement and the
+    /// reference materialization (0 = one per CPU, the `BatchOptions`
+    /// convention). Results are bit-identical for every value; only the
+    /// timings move.
+    pub threads: usize,
 }
 
 impl Default for EvalOptions {
     fn default() -> Self {
-        EvalOptions { max_dense_n: 2048, sample_cols: 64, apply_iters: 16, apply_block: 16 }
+        EvalOptions {
+            max_dense_n: 2048,
+            sample_cols: 64,
+            apply_iters: 16,
+            apply_block: 16,
+            threads: 1,
+        }
     }
 }
 
@@ -70,6 +81,17 @@ pub struct MethodReport {
     /// [`EvalOptions::apply_block`]-wide panels); at or below
     /// [`apply_ns`](Self::apply_ns) whenever blocking pays.
     pub apply_block_ns: f64,
+    /// Mean wall-clock nanoseconds per vector of the same blocked apply
+    /// through the thread-parallel executor ([`ParallelApply`] at
+    /// [`EvalOptions::threads`] workers) — bit-identical output, so the
+    /// two blocked columns differ only in wall-clock. Speedup over
+    /// [`apply_block_ns`](Self::apply_block_ns) requires physical cores;
+    /// on a single-CPU machine this column reports the executor's
+    /// overhead instead.
+    pub apply_block_threaded_ns: f64,
+    /// Worker count the threaded measurement ran with (resolved, so 0 =
+    /// auto shows the actual CPU count used).
+    pub eval_threads: usize,
     /// Wall-clock milliseconds spent building the representation.
     pub build_ms: f64,
     /// How many columns were graded (`n` when graded densely).
@@ -80,7 +102,7 @@ impl MethodReport {
     /// The aligned header matching [`row`](Self::row).
     pub fn header() -> String {
         format!(
-            "{:<10} {:>6} {:>7} {:>8} {:>9} {:>10} {:>10} {:>8} {:>10} {:>10} {:>9}",
+            "{:<10} {:>6} {:>7} {:>8} {:>9} {:>10} {:>10} {:>8} {:>10} {:>10} {:>10} {:>9}",
             "method",
             "n",
             "solves",
@@ -91,6 +113,7 @@ impl MethodReport {
             ">10%",
             "apply",
             "blk/vec",
+            "thr/vec",
             "build"
         )
     }
@@ -100,7 +123,7 @@ impl MethodReport {
         let mut s = String::new();
         write!(
             s,
-            "{:<10} {:>6} {:>7} {:>8.1} {:>9.4} {:>10.3e} {:>10.3e} {:>7.1}% {:>10} {:>10} {:>7.0}ms",
+            "{:<10} {:>6} {:>7} {:>8.1} {:>9.4} {:>10.3e} {:>10.3e} {:>7.1}% {:>10} {:>10} {:>10} {:>7.0}ms",
             self.method,
             self.n,
             self.solves,
@@ -111,6 +134,7 @@ impl MethodReport {
             100.0 * self.frac_above_10pct,
             format_ns(self.apply_ns),
             format_ns(self.apply_block_ns),
+            format_ns(self.apply_block_threaded_ns),
             self.build_ms,
         )
         .unwrap();
@@ -151,7 +175,7 @@ pub fn evaluate_columns(
     assert_eq!(reference.n_rows(), outcome.n(), "reference/outcome row mismatch");
     assert_eq!(reference.n_cols(), cols.len(), "reference/cols mismatch");
     let n = outcome.n();
-    let approx = outcome.rep.dense_columns(cols);
+    let approx = outcome.rep.dense_columns_threaded(cols, opts.threads);
 
     let mut max_col_error = 0.0_f64;
     for (k, _) in cols.iter().enumerate() {
@@ -167,7 +191,7 @@ pub fn evaluate_columns(
         }
     }
 
-    let (apply_ns, apply_block_ns) = time_applies(&outcome.rep, opts);
+    let timings = time_applies(&outcome.rep, opts);
 
     MethodReport {
         method: method.to_string(),
@@ -179,23 +203,40 @@ pub fn evaluate_columns(
         rel_fro_error: rel_fro_error(reference, &approx),
         max_col_error,
         frac_above_10pct: frac_above(reference, &approx, 0.10),
-        apply_ns,
-        apply_block_ns,
+        apply_ns: timings.apply_ns,
+        apply_block_ns: timings.apply_block_ns,
+        apply_block_threaded_ns: timings.apply_block_threaded_ns,
+        eval_threads: timings.threads,
         build_ms: outcome.build_time.as_secs_f64() * 1e3,
         graded_cols: cols.len(),
     }
 }
 
+/// What [`time_applies`] measures: nanoseconds per vector on each of the
+/// three serving paths, plus the resolved worker count of the threaded
+/// one.
+#[derive(Clone, Copy, Debug)]
+pub struct ApplyTimings {
+    /// Single-vector applies ([`CouplingOp::apply_into`], warm workspace).
+    pub apply_ns: f64,
+    /// Blocked applies, per vector ([`CouplingOp::apply_block_into`]).
+    pub apply_block_ns: f64,
+    /// Thread-parallel blocked applies, per vector ([`ParallelApply`]).
+    pub apply_block_threaded_ns: f64,
+    /// Resolved worker count of the threaded measurement.
+    pub threads: usize,
+}
+
 /// Times the serving paths of any [`CouplingOp`] on deterministic inputs:
-/// single-vector applies and [`EvalOptions::apply_block`]-wide blocked
-/// applies, both with a warm workspace (buffers grown once before the
-/// clock starts, so the measurement is of serving, not of allocation).
-/// Representations carrying a fast wavelet transform are timed through
-/// it — the path a simulator would actually serve on — so the wavelet
-/// rows of the method tables reflect the `O(n·p)` transform cost, not
-/// the explicit-CSR fallback. Returns `(ns per apply, ns per vector of a
-/// blocked apply)`.
-pub fn time_applies(op: &dyn CouplingOp, opts: &EvalOptions) -> (f64, f64) {
+/// single-vector applies, [`EvalOptions::apply_block`]-wide blocked
+/// applies, and the same blocked applies through the thread-parallel
+/// executor at [`EvalOptions::threads`] workers — all with warm scratch
+/// (buffers grown once before the clock starts, so the measurement is of
+/// serving, not of allocation). Representations carrying a fast wavelet
+/// transform are timed through it — the path a simulator would actually
+/// serve on — so the wavelet rows of the method tables reflect the
+/// `O(n·p)` transform cost, not the explicit-CSR fallback.
+pub fn time_applies<O: CouplingOp + Sync + ?Sized>(op: &O, opts: &EvalOptions) -> ApplyTimings {
     let n = op.n();
     let iters = opts.apply_iters.max(1);
     let block = opts.apply_block.max(1);
@@ -204,9 +245,12 @@ pub fn time_applies(op: &dyn CouplingOp, opts: &EvalOptions) -> (f64, f64) {
     let mut y = vec![0.0; n];
     let mut yb = Mat::zeros(0, 0);
     let mut ws = ApplyWorkspace::new();
-    // warm-up: grow every buffer before the clock starts
+    let mut pool = ParallelApply::new(opts.threads);
+    // warm-up: grow every buffer (serial workspace and per-worker slots)
+    // before the clock starts
     op.apply_into(&v, &mut y, &mut ws);
     op.apply_block_into(&xb, &mut yb, &mut ws);
+    pool.warm(op, block);
 
     let t0 = Instant::now();
     for _ in 0..iters {
@@ -222,7 +266,19 @@ pub fn time_applies(op: &dyn CouplingOp, opts: &EvalOptions) -> (f64, f64) {
         std::hint::black_box(&yb);
     }
     let apply_block_ns = t0.elapsed().as_nanos() as f64 / (block_iters * block) as f64;
-    (apply_ns, apply_block_ns)
+
+    let t0 = Instant::now();
+    for _ in 0..block_iters {
+        pool.apply_block_into(op, std::hint::black_box(&xb), &mut yb);
+        std::hint::black_box(&yb);
+    }
+    let apply_block_threaded_ns = t0.elapsed().as_nanos() as f64 / (block_iters * block) as f64;
+    ApplyTimings {
+        apply_ns,
+        apply_block_ns,
+        apply_block_threaded_ns,
+        threads: pool.resolved_threads(),
+    }
 }
 
 /// Grades an outcome against a precomputed dense reference `G`.
@@ -275,9 +331,11 @@ mod tests {
         assert!(report.rel_fro_error < 0.1, "{}", report.rel_fro_error);
         assert!(report.max_col_error >= report.rel_fro_error * 0.1);
         assert!(report.nnz_ratio > 0.0 && report.nnz_ratio < 1.1);
-        // both serving paths were timed
+        // all three serving paths were timed
         assert!(report.apply_ns > 0.0);
         assert!(report.apply_block_ns > 0.0);
+        assert!(report.apply_block_threaded_ns > 0.0);
+        assert_eq!(report.eval_threads, 1);
         // header and row align on column count
         assert!(!MethodReport::header().is_empty());
         assert!(!report.row().is_empty());
@@ -292,5 +350,22 @@ mod tests {
         let opts = EvalOptions { max_dense_n: 16, sample_cols: 8, ..Default::default() };
         let report = evaluate("threshold", &out, &s, &opts);
         assert_eq!(report.graded_cols, 8);
+    }
+
+    #[test]
+    fn threaded_evaluation_grades_identically() {
+        // the graded numbers are pure functions of the model; running the
+        // harness on 2 workers must change timings only
+        let layout = generators::regular_grid(128.0, 8, 2.0);
+        let s = solver::synthetic(&layout);
+        let out =
+            Method::Threshold.build().sparsify(&s, &layout, &SparsifyOptions::default()).unwrap();
+        let serial = evaluate_dense("threshold", &out, s.matrix(), &EvalOptions::default());
+        let threaded_opts = EvalOptions { threads: 2, ..Default::default() };
+        let threaded = evaluate_dense("threshold", &out, s.matrix(), &threaded_opts);
+        assert_eq!(threaded.eval_threads, 2);
+        assert_eq!(serial.rel_fro_error, threaded.rel_fro_error);
+        assert_eq!(serial.max_col_error, threaded.max_col_error);
+        assert_eq!(serial.frac_above_10pct, threaded.frac_above_10pct);
     }
 }

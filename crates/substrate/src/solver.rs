@@ -75,14 +75,10 @@ impl BatchOptions {
     }
 }
 
-/// Resolves a thread-count knob: 0 means one worker per available CPU.
-pub fn resolve_threads(threads: usize) -> usize {
-    if threads == 0 {
-        std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
-    } else {
-        threads
-    }
-}
+// The canonical resolver lives next to the serving executor in
+// `linalg::op`; re-exported here because the extraction pipelines
+// historically imported it from this module.
+pub use subsparse_linalg::resolve_threads;
 
 /// A black-box substrate solver: given the `n` contact voltages, returns
 /// the `n` contact currents (current *into* each contact from the circuit).
