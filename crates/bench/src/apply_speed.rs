@@ -64,8 +64,15 @@ pub struct ApplySpeedRow {
     pub threads: usize,
     /// Stored nonzeros of the representation.
     pub nnz: usize,
-    /// Median wall-clock nanoseconds per applied vector.
+    /// Median wall-clock nanoseconds per applied vector (the number CI
+    /// trajectories track — robust to one-off scheduler hiccups).
     pub ns_per_vector: f64,
+    /// Fastest-batch nanoseconds per vector (the least noise-contaminated
+    /// estimate of the true cost).
+    pub ns_min: f64,
+    /// Mean nanoseconds per vector over all batches (the historical
+    /// central estimate; drifts upward under scheduler noise).
+    pub ns_mean: f64,
     /// Whether the result bit-agrees, column for column, with the looped
     /// per-vector apply (always true for `block == 1, threads == 1`;
     /// threaded rows compare the executor's output against the serial
@@ -77,8 +84,8 @@ impl ApplySpeedRow {
     /// One machine-readable JSON object (used by `BENCH_*.json` emission).
     pub fn json(&self) -> String {
         format!(
-            "{{\"method\":\"{}\",\"n\":{},\"block\":{},\"threads\":{},\"nnz\":{},\"ns_per_vector\":{:.1},\"bit_equal\":{}}}",
-            self.method, self.n, self.block, self.threads, self.nnz, self.ns_per_vector, self.bit_equal
+            "{{\"method\":\"{}\",\"n\":{},\"block\":{},\"threads\":{},\"nnz\":{},\"ns_per_vector\":{:.1},\"ns_min\":{:.1},\"ns_mean\":{:.1},\"bit_equal\":{}}}",
+            self.method, self.n, self.block, self.threads, self.nnz, self.ns_per_vector, self.ns_min, self.ns_mean, self.bit_equal
         )
     }
 }
@@ -108,24 +115,27 @@ fn bench_op(
             }
         }
         let label = format!("{method:<12} n={n:<5} b={block}");
-        let ns = if block == 1 {
-            timing::bench(&label, || {
+        let stats = if block == 1 {
+            timing::bench_stats(&label, || {
                 op.apply_into(std::hint::black_box(x.col(0)), &mut y, &mut ws);
                 std::hint::black_box(&y);
             })
         } else {
-            timing::bench(&label, || {
+            timing::bench_stats(&label, || {
                 op.apply_block_into(std::hint::black_box(&x), &mut yb, &mut ws);
                 std::hint::black_box(&yb);
-            }) / block as f64
+            })
         };
+        let per = if block == 1 { 1.0 } else { block as f64 };
         rows.push(ApplySpeedRow {
             method: method.to_string(),
             n,
             block,
             threads: 1,
             nnz: op.nnz(),
-            ns_per_vector: ns,
+            ns_per_vector: stats.p50 / per,
+            ns_min: stats.min / per,
+            ns_mean: stats.mean / per,
             bit_equal,
         });
         // the threaded row: same inputs through the parallel executor,
@@ -146,17 +156,19 @@ fn bench_op(
             }
         }
         let label = format!("{method:<12} n={n:<5} b={block} t={engaged}");
-        let ns = timing::bench(&label, || {
+        let stats = timing::bench_stats(&label, || {
             pool.apply_block_into(op, std::hint::black_box(&x), &mut yt);
             std::hint::black_box(&yt);
-        }) / block as f64;
+        });
         rows.push(ApplySpeedRow {
             method: method.to_string(),
             n,
             block,
             threads: engaged,
             nnz: op.nnz(),
-            ns_per_vector: ns,
+            ns_per_vector: stats.p50 / block as f64,
+            ns_min: stats.min / block as f64,
+            ns_mean: stats.mean / block as f64,
             bit_equal: t_equal,
         });
     }
@@ -254,14 +266,24 @@ pub fn run_apply_speed(quick: bool, threads: usize) -> ApplySpeedReport {
     ApplySpeedReport { rows, fwt_vs_csr_rel_err }
 }
 
-/// Formats rows as an aligned summary table: ns/vector per block width,
-/// plus the blocked speedup over the looped baseline.
+/// Formats rows as an aligned summary table: p50/min/mean ns/vector per
+/// block width, plus the blocked speedup over the looped baseline
+/// (computed on p50, the number the trajectory tracks).
 pub fn format_rows(rows: &[ApplySpeedRow]) -> String {
     let mut out = String::new();
     writeln!(
         out,
-        "\n{:<12} {:>6} {:>6} {:>7} {:>9} {:>12} {:>9} {:>6}",
-        "method", "n", "block", "thr", "nnz", "ns/vector", "speedup", "bits"
+        "\n{:<12} {:>6} {:>6} {:>7} {:>9} {:>12} {:>12} {:>12} {:>9} {:>6}",
+        "method",
+        "n",
+        "block",
+        "thr",
+        "nnz",
+        "p50/vector",
+        "min/vector",
+        "mean/vector",
+        "speedup",
+        "bits"
     )
     .unwrap();
     for row in rows {
@@ -271,13 +293,15 @@ pub fn format_rows(rows: &[ApplySpeedRow]) -> String {
             .map_or(row.ns_per_vector, |r| r.ns_per_vector);
         writeln!(
             out,
-            "{:<12} {:>6} {:>6} {:>7} {:>9} {:>12} {:>8.2}x {:>6}",
+            "{:<12} {:>6} {:>6} {:>7} {:>9} {:>12} {:>12} {:>12} {:>8.2}x {:>6}",
             row.method,
             row.n,
             row.block,
             row.threads,
             row.nnz,
             format_ns(row.ns_per_vector),
+            format_ns(row.ns_min),
+            format_ns(row.ns_mean),
             single / row.ns_per_vector,
             if row.bit_equal { "ok" } else { "DIFF" },
         )
@@ -286,10 +310,15 @@ pub fn format_rows(rows: &[ApplySpeedRow]) -> String {
     out
 }
 
-/// Serializes rows as the `BENCH_apply_speed.json` array.
+/// Serializes the report as the `BENCH_apply_speed.json` record: a run
+/// [`metadata`](crate::run_meta_json) header plus one object per row.
 pub fn rows_json(rows: &[ApplySpeedRow]) -> String {
     let body: Vec<String> = rows.iter().map(|r| format!("  {}", r.json())).collect();
-    format!("[\n{}\n]\n", body.join(",\n"))
+    format!(
+        "{{\"meta\":{},\n\"rows\":[\n{}\n]}}\n",
+        crate::run_meta_json(timing::BATCHES),
+        body.join(",\n")
+    )
 }
 
 #[cfg(test)]
@@ -313,6 +342,10 @@ mod tests {
         assert!(threaded.iter().filter(|r| r.block == 1).all(|r| r.method == "dense"));
         assert!(rows.iter().all(|r| r.bit_equal), "an apply diverged");
         assert!(rows.iter().all(|r| r.ns_per_vector > 0.0));
+        // min over batches can never exceed the median batch, and every
+        // estimate is a positive time
+        assert!(rows.iter().all(|r| r.ns_min > 0.0 && r.ns_min <= r.ns_per_vector));
+        assert!(rows.iter().all(|r| r.ns_mean > 0.0));
         assert!(
             report.fwt_vs_csr_rel_err <= FWT_CSR_TOL,
             "wavelet serving paths diverged: {:.3e}",
@@ -321,6 +354,10 @@ mod tests {
         let json = rows_json(rows);
         assert!(json.contains("\"method\":\"wavelet_fwt\"") && json.contains("\"block\":32"));
         assert!(json.contains("\"threads\":1") && json.contains("\"threads\":2"));
+        // the run-metadata stamp and the noise-robust statistics
+        assert!(json.contains("\"meta\":{\"available_parallelism\":"));
+        assert!(json.contains("\"build_profile\":") && json.contains("\"repeats\":"));
+        assert!(json.contains("\"ns_min\":") && json.contains("\"ns_mean\":"));
         assert!(format_rows(rows).contains("dense"));
         // the factored transform must store less than the flat-Q rows
         let nnz_of = |m: &str| rows.iter().find(|r| r.method == m).unwrap().nnz;

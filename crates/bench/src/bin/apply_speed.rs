@@ -5,14 +5,18 @@
 //!
 //! ```text
 //! cargo run --release -p subsparse-bench --bin apply_speed -- \
-//!     [--quick] [--json] [--threads T]
+//!     [--quick] [--json] [--threads T] [--trace FILE]
 //! ```
 //!
 //! `--json` additionally writes `BENCH_apply_speed.json`
 //! (method × n × block-width × thread-count → ns/vector), the
 //! perf-trajectory file CI tracks. `--threads T` sets the worker count of
 //! the thread-parallel rows (default 2; `--threads 1` drops them,
-//! `--threads 0` uses one worker per CPU). Exits nonzero if any blocked
+//! `--threads 0` uses one worker per CPU). `--trace FILE` enables the
+//! `subsparse::trace` recorder for the run, writes the Chrome-trace JSON
+//! to FILE, and prints the counter/histogram summary — note the recorded
+//! spans then measure *instrumented* applies, so don't compare traced
+//! ns/vector against untraced trajectories. Exits nonzero if any blocked
 //! or thread-parallel apply fails to bit-agree with its serial
 //! counterpart, **or** if the fast-wavelet-transform path diverges from
 //! the explicit-CSR path beyond the `FWT_CSR_TOL` tolerance, so CI can
@@ -38,8 +42,31 @@ fn main() -> ExitCode {
             }
         },
     };
+    let trace_path = match args.iter().position(|a| a == "--trace") {
+        None => None,
+        Some(i) => match args.get(i + 1) {
+            Some(p) => Some(p.clone()),
+            None => {
+                eprintln!("error: --trace needs an output file");
+                return ExitCode::FAILURE;
+            }
+        },
+    };
+    if trace_path.is_some() {
+        subsparse::trace::set_enabled(true);
+        subsparse::trace::reset();
+    }
 
     let report = run_apply_speed(quick, threads);
+    if let Some(path) = &trace_path {
+        if let Err(e) = std::fs::write(path, subsparse::trace::chrome_json()) {
+            eprintln!("error: cannot write trace {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+        print!("{}", subsparse::trace::summary());
+        println!("chrome trace written to {path} (load in chrome://tracing or ui.perfetto.dev)");
+        subsparse::trace::set_enabled(false);
+    }
     print!("{}", format_rows(&report.rows));
     println!(
         "\nfwt vs explicit-csr wavelet apply: max rel err {:.3e} (tolerance {FWT_CSR_TOL:.0e})",

@@ -28,6 +28,22 @@ pub mod timing;
 pub use examples::{ch3_examples, ch4_examples, ExampleSpec, SolverKind};
 pub use method_matrix::run_method_matrix;
 
+/// One JSON object of run metadata stamped into every emitted
+/// `BENCH_*.json` record, so trajectory comparisons across machines are
+/// interpretable: a 1-CPU container's threaded rows regressing is a
+/// machine difference, not a code regression, and the metadata says so.
+///
+/// `repeats` is the measurement repeat count of the harness that produced
+/// the record (batches for the timing harness, apply iterations for the
+/// eval harness).
+pub fn run_meta_json(repeats: usize) -> String {
+    let parallelism = std::thread::available_parallelism().map_or(0, |p| p.get());
+    let profile = if cfg!(debug_assertions) { "debug" } else { "release" };
+    format!(
+        "{{\"available_parallelism\":{parallelism},\"build_profile\":\"{profile}\",\"repeats\":{repeats}}}"
+    )
+}
+
 /// Returns true if `--quick` is among the process arguments.
 pub fn quick_from_args() -> bool {
     std::env::args().any(|a| a == "--quick")

@@ -31,6 +31,10 @@ pub fn matrix_layouts(quick: bool) -> Vec<(&'static str, Layout)> {
     v
 }
 
+/// Apply-timing repeats of the eval harness driving the matrix (stamped
+/// into the emitted JSON's run metadata).
+pub const MATRIX_APPLY_ITERS: usize = 4;
+
 /// One graded cell of the matrix: the layout name, its contact count,
 /// and the method's report (or the failure message).
 pub struct MatrixCell {
@@ -48,7 +52,7 @@ pub struct MatrixCell {
 /// their numbers always agree.
 pub fn run_matrix_cells(quick: bool) -> Vec<MatrixCell> {
     let opts = SparsifyOptions::default();
-    let eval_opts = EvalOptions { apply_iters: 4, ..Default::default() };
+    let eval_opts = EvalOptions { apply_iters: MATRIX_APPLY_ITERS, ..Default::default() };
     let mut cells = Vec::new();
     for (name, layout) in matrix_layouts(quick) {
         for method in all_methods() {
@@ -99,7 +103,11 @@ pub fn matrix_json(cells: &[MatrixCell]) -> String {
             )
         })
         .collect();
-    format!("[\n{}\n]\n", body.join(",\n"))
+    format!(
+        "{{\"meta\":{},\n\"cells\":[\n{}\n]}}\n",
+        crate::run_meta_json(MATRIX_APPLY_ITERS),
+        body.join(",\n")
+    )
 }
 
 /// Runs the matrix and returns the formatted table (one pass; see
@@ -135,5 +143,13 @@ mod tests {
             assert!(table.contains(method.name()), "missing {method} in:\n{table}");
         }
         assert!(!table.contains("failed:"), "a matrix cell failed:\n{table}");
+    }
+
+    #[test]
+    fn matrix_json_stamps_run_metadata() {
+        let json = matrix_json(&[]);
+        assert!(json.starts_with("{\"meta\":{\"available_parallelism\":"));
+        assert!(json.contains("\"build_profile\":") && json.contains("\"repeats\":4"));
+        assert!(json.contains("\"cells\":["));
     }
 }

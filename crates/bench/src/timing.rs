@@ -9,12 +9,37 @@ use std::time::{Duration, Instant};
 
 /// Target wall-clock per measurement batch.
 const BATCH_TARGET: Duration = Duration::from_millis(20);
-/// Number of measured batches.
-const BATCHES: usize = 11;
+/// Number of measured batches (public so emitted benchmark records can
+/// stamp the repeat count they were measured with).
+pub const BATCHES: usize = 11;
+
+/// Per-iteration timing statistics over the measured batches, in
+/// nanoseconds. `p50` is the median batch; `min` filters out one-off
+/// scheduler hiccups, which is why committed trajectories report it
+/// alongside the central estimates.
+#[derive(Clone, Copy, Debug)]
+pub struct BenchStats {
+    /// Fastest batch (least scheduler-noise-contaminated estimate).
+    pub min: f64,
+    /// Median batch.
+    pub p50: f64,
+    /// Mean over all batches.
+    pub mean: f64,
+    /// Calibrated iterations per batch.
+    pub iters: usize,
+    /// Number of measured batches.
+    pub batches: usize,
+}
 
 /// Times `f` and prints one aligned result line: min / median / mean per
 /// iteration over the batches. Returns the median nanoseconds.
-pub fn bench(name: &str, mut f: impl FnMut()) -> f64 {
+pub fn bench(name: &str, f: impl FnMut()) -> f64 {
+    bench_stats(name, f).p50
+}
+
+/// [`bench`], returning the full per-iteration statistics instead of just
+/// the median.
+pub fn bench_stats(name: &str, mut f: impl FnMut()) -> BenchStats {
     // warm up and calibrate the per-batch iteration count
     let t0 = Instant::now();
     f();
@@ -32,15 +57,15 @@ pub fn bench(name: &str, mut f: impl FnMut()) -> f64 {
         .collect();
     per_iter.sort_by(|a, b| a.partial_cmp(b).unwrap());
     let min = per_iter[0];
-    let median = per_iter[per_iter.len() / 2];
+    let p50 = per_iter[per_iter.len() / 2];
     let mean = per_iter.iter().sum::<f64>() / per_iter.len() as f64;
     println!(
         "{name:<28} {:>12}/iter  (min {}, mean {}, {iters} iters x {BATCHES})",
-        fmt_ns(median),
+        fmt_ns(p50),
         fmt_ns(min),
         fmt_ns(mean),
     );
-    median
+    BenchStats { min, p50, mean, iters, batches: BATCHES }
 }
 
 /// Formats nanoseconds with an adaptive unit (the shared formatter from

@@ -67,6 +67,8 @@ EXTRACT OPTIONS:
                       (default 1; 0 = one per CPU)
   --batch B           max RHS columns per batched solve (default 32)
   --threshold F       extra sparsification factor (e.g. 6); default off
+  --trace FILE        record spans/counters/latency histograms, write a
+                      chrome://tracing JSON to FILE, print the summary
 
 SPARSIFY OPTIONS (run registered methods side by side, shared metrics):
   --method M          wavelet | lowrank | threshold | topk | svd | hybrid
@@ -84,6 +86,8 @@ SPARSIFY OPTIONS (run registered methods side by side, shared metrics):
   --batch B           max RHS columns per batched solve (default 32)
   --out STEM          save the (single) method's model as STEM.{q,gw}.mtx
                       (+ STEM.fwt for the wavelet method)
+  --trace FILE        record spans/counters/latency histograms, write a
+                      chrome://tracing JSON to FILE, print the summary
 
 APPLY OPTIONS (serving):
   --contact K         excited contact index (required)
@@ -100,7 +104,35 @@ APPLY OPTIONS (serving):
                       thread-parallel serving executor on T workers
                       (default 1; 0 = one per CPU); results are
                       bit-identical for every T, speedup needs cores
+  --trace FILE        record spans/counters/latency histograms, write a
+                      chrome://tracing JSON to FILE, print the summary
 ";
+
+/// `--trace FILE`: turns the recorder on and returns the output path
+/// (None leaves tracing disabled — the no-op fast path).
+fn trace_begin(opts: &Opts) -> Option<PathBuf> {
+    let path = opts.get("trace").map(PathBuf::from);
+    if path.is_some() {
+        subsparse::trace::set_enabled(true);
+        subsparse::trace::reset();
+    }
+    path
+}
+
+/// Writes the Chrome-trace JSON and prints the human-readable summary
+/// collected since [`trace_begin`]; no-op when `--trace` was absent.
+fn trace_finish(path: Option<PathBuf>) -> Result<(), String> {
+    let Some(path) = path else { return Ok(()) };
+    std::fs::write(&path, subsparse::trace::chrome_json())
+        .map_err(|e| format!("writing trace {}: {e}", path.display()))?;
+    print!("{}", subsparse::trace::summary());
+    println!(
+        "chrome trace written to {} (load in chrome://tracing or ui.perfetto.dev)",
+        path.display()
+    );
+    subsparse::trace::set_enabled(false);
+    Ok(())
+}
 
 fn run(args: &[String]) -> Result<(), String> {
     match args.first().map(String::as_str) {
@@ -171,6 +203,7 @@ fn parse_substrate(spec: &str, backplane: Backplane) -> Result<Substrate, String
 
 fn cmd_extract(args: &[String]) -> Result<(), String> {
     let opts = Opts::parse(args)?;
+    let trace_path = trace_begin(&opts);
     let layout_path = opts.require("layout")?;
     let out = PathBuf::from(opts.require("out")?);
     let extent: f64 = opts.get_parsed("extent", 128.0)?;
@@ -270,13 +303,14 @@ fn cmd_extract(args: &[String]) -> Result<(), String> {
     } else {
         println!("wrote {}.q.mtx and {}.gw.mtx", out.display(), out.display());
     }
-    Ok(())
+    trace_finish(trace_path)
 }
 
 /// `sparsify` — run one or all registered methods through the shared
 /// `Sparsifier` trait and grade them with the shared evaluation harness.
 fn cmd_sparsify(args: &[String]) -> Result<(), String> {
     let opts = Opts::parse(args)?;
+    let trace_path = trace_begin(&opts);
     let extent: f64 = opts.get_parsed("extent", 128.0)?;
     let grid: usize = opts.get_parsed("grid", 16)?;
     let panels: usize = opts.get_parsed("panels", 128)?;
@@ -356,7 +390,7 @@ fn cmd_sparsify(args: &[String]) -> Result<(), String> {
             println!("  {:<10} {}", method.name(), method.summary());
         }
     }
-    Ok(())
+    trace_finish(trace_path)
 }
 
 fn cmd_info(args: &[String]) -> Result<(), String> {
@@ -374,6 +408,7 @@ fn cmd_info(args: &[String]) -> Result<(), String> {
 
 fn cmd_apply(args: &[String]) -> Result<(), String> {
     let opts = Opts::parse(args)?;
+    let trace_path = trace_begin(&opts);
     let stem = PathBuf::from(opts.require("model")?);
     let contact: usize =
         opts.require("contact")?.parse().map_err(|_| "bad --contact index".to_string())?;
@@ -407,7 +442,7 @@ fn cmd_apply(args: &[String]) -> Result<(), String> {
         for (k, val) in i.iter().enumerate() {
             println!("{k:>8} {val:+.6e}");
         }
-        return Ok(());
+        return trace_finish(trace_path);
     }
 
     // serving throughput: repeated applies through the zero-alloc paths,
@@ -439,5 +474,5 @@ fn cmd_apply(args: &[String]) -> Result<(), String> {
             t.apply_block_ns / t.apply_block_threaded_ns,
         );
     }
-    Ok(())
+    trace_finish(trace_path)
 }

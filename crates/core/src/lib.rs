@@ -129,3 +129,9 @@ pub use subsparse_hier::BasisRep;
 pub use subsparse_layout::{Contact, Layout, Rect};
 pub use subsparse_linalg::{ApplyWorkspace, CouplingOp, LowRankOp, ParallelApply};
 pub use subsparse_substrate::{Backplane, Layer, Substrate, SubstrateSolver};
+
+/// Zero-dependency observability: runtime-switchable RAII spans, atomic
+/// counters, latency histograms, and summary/Chrome-trace exporters over
+/// the extraction and serving hot paths (re-export of
+/// [`subsparse_linalg::trace`]).
+pub use subsparse_linalg::trace;

@@ -40,13 +40,15 @@
 //!
 //! Per level the transform ping-pongs coefficients between two caller
 //! scratch buffers (see [`ApplyWorkspace`](subsparse_linalg::ApplyWorkspace)'s
-//! third matrix), and the blocked entry points push an 8-wide panel of
-//! vectors through each block load. Per-column accumulation order is
-//! identical to the single-vector path, so blocked results are
+//! third matrix), and the blocked entry points sweep each level across
+//! the whole panel of vectors before moving on, so every square's block
+//! is loaded once per panel instead of once per vector — and each level
+//! is one [`trace`] span per blocked apply. Per-column accumulation
+//! order is identical to the single-vector path, so blocked results are
 //! bit-identical to looped per-vector transforms — the same contract the
 //! rest of the serving layer keeps.
 
-use subsparse_linalg::Mat;
+use subsparse_linalg::{trace, Mat};
 
 /// One square's transform step.
 ///
@@ -266,30 +268,44 @@ impl FastWaveletTransform {
         for (li, level) in self.levels.iter().enumerate() {
             let at_root = li + 1 == n_levels;
             for node in &level.nodes {
-                let nin = node.in_len;
-                let ncols = node.v_cols + node.w_cols;
-                let block = &self.blocks[node.block_offset..node.block_offset + nin * ncols];
-                let idx = if li == 0 {
-                    &self.contact_idx[node.in_offset..node.in_offset + nin]
-                } else {
-                    &[]
-                };
-                let inp: &[f64] =
-                    if li == 0 { &[] } else { &cur[node.in_offset..node.in_offset + nin] };
-                for (k, bcol) in block.chunks_exact(nin).enumerate().take(ncols) {
-                    let acc = if li == 0 { dot4_gather(bcol, idx, x) } else { dot4(bcol, inp) };
-                    if k < node.v_cols {
-                        if at_root {
-                            out[node.out_offset + k] = acc;
-                        } else {
-                            next[node.out_offset + k] = acc;
-                        }
-                    } else {
-                        out[node.col_start + (k - node.v_cols)] = acc;
-                    }
-                }
+                self.forward_node(li, at_root, node, x, out, cur, next);
             }
             std::mem::swap(&mut cur, &mut next);
+        }
+    }
+
+    /// One square's forward step on one vector — the shared kernel of
+    /// [`forward_into`](Self::forward_into) and the level-major blocked
+    /// path, so the two are bit-identical by construction.
+    #[inline]
+    #[allow(clippy::too_many_arguments)] // one raw kernel, two callers
+    fn forward_node(
+        &self,
+        li: usize,
+        at_root: bool,
+        node: &FwtNode,
+        x: &[f64],
+        out: &mut [f64],
+        cur: &[f64],
+        next: &mut [f64],
+    ) {
+        let nin = node.in_len;
+        let ncols = node.v_cols + node.w_cols;
+        let block = &self.blocks[node.block_offset..node.block_offset + nin * ncols];
+        let idx =
+            if li == 0 { &self.contact_idx[node.in_offset..node.in_offset + nin] } else { &[] };
+        let inp: &[f64] = if li == 0 { &[] } else { &cur[node.in_offset..node.in_offset + nin] };
+        for (k, bcol) in block.chunks_exact(nin).enumerate().take(ncols) {
+            let acc = if li == 0 { dot4_gather(bcol, idx, x) } else { dot4(bcol, inp) };
+            if k < node.v_cols {
+                if at_root {
+                    out[node.out_offset + k] = acc;
+                } else {
+                    next[node.out_offset + k] = acc;
+                }
+            } else {
+                out[node.col_start + (k - node.v_cols)] = acc;
+            }
         }
     }
 
@@ -312,32 +328,50 @@ impl FastWaveletTransform {
         for (li, level) in self.levels.iter().enumerate().rev() {
             let at_root = li + 1 == n_levels;
             for node in &level.nodes {
-                let nin = node.in_len;
-                let ncols = node.v_cols + node.w_cols;
-                let block = &self.blocks[node.block_offset..node.block_offset + nin * ncols];
-                if li == 0 {
-                    let idx = &self.contact_idx[node.in_offset..node.in_offset + nin];
-                    for &ci in idx {
-                        x[ci as usize] = 0.0;
-                    }
-                    for (k, bcol) in block.chunks_exact(nin).enumerate().take(ncols) {
-                        let cv = self.coeff(node, k, c, cur, at_root);
-                        for (bv, &ci) in bcol.iter().zip(idx) {
-                            x[ci as usize] += bv * cv;
-                        }
-                    }
-                } else {
-                    let dest = &mut next[node.in_offset..node.in_offset + nin];
-                    dest.fill(0.0);
-                    for (k, bcol) in block.chunks_exact(nin).enumerate().take(ncols) {
-                        let cv = self.coeff(node, k, c, cur, at_root);
-                        for (d, bv) in dest.iter_mut().zip(bcol) {
-                            *d += bv * cv;
-                        }
-                    }
-                }
+                self.inverse_node(li, at_root, node, c, x, cur, next);
             }
             std::mem::swap(&mut cur, &mut next);
+        }
+    }
+
+    /// One square's inverse step on one vector — the shared kernel of
+    /// [`inverse_into`](Self::inverse_into) and the level-major blocked
+    /// path, so the two are bit-identical by construction.
+    #[inline]
+    #[allow(clippy::too_many_arguments)] // one raw kernel, two callers
+    fn inverse_node(
+        &self,
+        li: usize,
+        at_root: bool,
+        node: &FwtNode,
+        c: &[f64],
+        x: &mut [f64],
+        cur: &[f64],
+        next: &mut [f64],
+    ) {
+        let nin = node.in_len;
+        let ncols = node.v_cols + node.w_cols;
+        let block = &self.blocks[node.block_offset..node.block_offset + nin * ncols];
+        if li == 0 {
+            let idx = &self.contact_idx[node.in_offset..node.in_offset + nin];
+            for &ci in idx {
+                x[ci as usize] = 0.0;
+            }
+            for (k, bcol) in block.chunks_exact(nin).enumerate().take(ncols) {
+                let cv = self.coeff(node, k, c, cur, at_root);
+                for (bv, &ci) in bcol.iter().zip(idx) {
+                    x[ci as usize] += bv * cv;
+                }
+            }
+        } else {
+            let dest = &mut next[node.in_offset..node.in_offset + nin];
+            dest.fill(0.0);
+            for (k, bcol) in block.chunks_exact(nin).enumerate().take(ncols) {
+                let cv = self.coeff(node, k, c, cur, at_root);
+                for (d, bv) in dest.iter_mut().zip(bcol) {
+                    *d += bv * cv;
+                }
+            }
         }
     }
 
@@ -359,11 +393,11 @@ impl FastWaveletTransform {
 
     /// Blocked forward transform: `out = Q' X`, column for column
     /// **bit-identical** to looped [`forward_into`](Self::forward_into)
-    /// calls — it runs the identical per-node kernel on each column. The
-    /// per-square blocks are small enough to stay cache-resident across
-    /// columns, so unlike the big CSR factors there is no memory-traffic
-    /// argument for a fused panel kernel; the blocked entry point exists
-    /// for pipeline symmetry and the resize-once calling convention.
+    /// calls — it runs the identical per-node kernel on each column,
+    /// level-major (each level sweeps its squares across the whole panel
+    /// before the next level starts), so the per-square blocks stay
+    /// cache-resident across columns and each level shows up as one
+    /// [`trace`] span per blocked apply.
     ///
     /// Resizes `out` to `n x X.n_cols()` and the scratch matrices as
     /// needed (allocation-free once they have capacity).
@@ -371,17 +405,35 @@ impl FastWaveletTransform {
         assert_eq!(x.n_rows(), self.n, "fwt forward block dimension mismatch");
         let b = x.n_cols();
         out.resize(self.n, b);
-        s1.resize(self.max_coeff_len, 1);
-        s2.resize(self.max_coeff_len, 1);
-        for j in 0..b {
-            self.forward_into(x.col(j), out.col_mut(j), s1.col_mut(0), s2.col_mut(0));
+        s1.resize(self.max_coeff_len, b);
+        s2.resize(self.max_coeff_len, b);
+        let n_levels = self.levels.len();
+        let (mut cur, mut next) = (s1, s2);
+        for (li, level) in self.levels.iter().enumerate() {
+            let _lvl = trace::span_arg("fwt.forward.level", li as u64);
+            let at_root = li + 1 == n_levels;
+            for node in &level.nodes {
+                for j in 0..b {
+                    self.forward_node(
+                        li,
+                        at_root,
+                        node,
+                        x.col(j),
+                        out.col_mut(j),
+                        cur.col(j),
+                        next.col_mut(j),
+                    );
+                }
+            }
+            std::mem::swap(&mut cur, &mut next);
         }
     }
 
     /// Blocked inverse transform: `X = Q C`, column for column
     /// bit-identical to looped [`inverse_into`](Self::inverse_into) calls
-    /// (same kernel, same rationale as
-    /// [`forward_block_into`](Self::forward_block_into)).
+    /// (same kernel, same level-major sweep and per-level spans as
+    /// [`forward_block_into`](Self::forward_block_into), coarsest level
+    /// first).
     ///
     /// Resizes `x` to `n x C.n_cols()` and the scratch matrices as
     /// needed.
@@ -389,10 +441,27 @@ impl FastWaveletTransform {
         assert_eq!(c.n_rows(), self.n, "fwt inverse block dimension mismatch");
         let b = c.n_cols();
         x.resize(self.n, b);
-        s1.resize(self.max_coeff_len, 1);
-        s2.resize(self.max_coeff_len, 1);
-        for j in 0..b {
-            self.inverse_into(c.col(j), x.col_mut(j), s1.col_mut(0), s2.col_mut(0));
+        s1.resize(self.max_coeff_len, b);
+        s2.resize(self.max_coeff_len, b);
+        let n_levels = self.levels.len();
+        let (mut cur, mut next) = (s1, s2);
+        for (li, level) in self.levels.iter().enumerate().rev() {
+            let _lvl = trace::span_arg("fwt.inverse.level", li as u64);
+            let at_root = li + 1 == n_levels;
+            for node in &level.nodes {
+                for j in 0..b {
+                    self.inverse_node(
+                        li,
+                        at_root,
+                        node,
+                        c.col(j),
+                        x.col_mut(j),
+                        cur.col(j),
+                        next.col_mut(j),
+                    );
+                }
+            }
+            std::mem::swap(&mut cur, &mut next);
         }
     }
 

@@ -23,7 +23,7 @@
 //! Thresholding `Gw` trades accuracy for more sparsity (the `Gwt` of the
 //! thesis tables).
 
-use subsparse_linalg::{ApplyWorkspace, CouplingOp, Csr, Mat, Triplets};
+use subsparse_linalg::{trace, ApplyWorkspace, CouplingOp, Csr, Mat, Triplets};
 
 use crate::fwt::FastWaveletTransform;
 
@@ -451,6 +451,7 @@ impl CouplingOp for BasisRep {
     }
 
     fn apply_into(&self, x: &[f64], y: &mut [f64], ws: &mut ApplyWorkspace) {
+        let _h = trace::time_hist(trace::Hist::ApplyVectorNs);
         let (wa, wb, wc) = ws.mats3();
         if let Some(fwt) = &self.fwt {
             // y doubles as the coefficient buffer: forward fills it, the
@@ -471,14 +472,27 @@ impl CouplingOp for BasisRep {
     }
 
     fn apply_block_into(&self, x: &Mat, y: &mut Mat, ws: &mut ApplyWorkspace) {
+        let _h = trace::time_hist(trace::Hist::ApplyBlockNs);
         let (wa, wb, wc) = ws.mats3();
         if let Some(fwt) = &self.fwt {
+            let _s = trace::span("apply_block.basis-rep-fwt");
             fwt.forward_block_into(x, y, wa, wc);
-            self.gw.matmul_dense_into(y, wb);
+            {
+                let _gw = trace::span("rep.gw");
+                self.gw.matmul_dense_into(y, wb);
+            }
             fwt.inverse_block_into(wb, y, wa, wc);
         } else {
-            self.qt.matmul_dense_into(x, wa);
-            self.gw.matmul_dense_into(wa, wb);
+            let _s = trace::span("apply_block.basis-rep");
+            {
+                let _qt = trace::span("rep.qt");
+                self.qt.matmul_dense_into(x, wa);
+            }
+            {
+                let _gw = trace::span("rep.gw");
+                self.gw.matmul_dense_into(wa, wb);
+            }
+            let _q = trace::span("rep.q");
             self.q.matmul_dense_into(wb, y);
         }
     }

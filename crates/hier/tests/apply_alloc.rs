@@ -12,7 +12,7 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 use subsparse_hier::fwt::{FwtLevel, FwtNode};
 use subsparse_hier::{BasisRep, FastWaveletTransform};
 use subsparse_linalg::{
-    svd, ApplyWorkspace, CouplingOp, Csr, LowRankOp, Mat, ParallelApply, Triplets,
+    svd, trace, ApplyWorkspace, CouplingOp, Csr, LowRankOp, Mat, ParallelApply, Triplets,
 };
 
 /// Forwards to the system allocator, counting allocations.
@@ -47,6 +47,23 @@ fn allocations_during(f: impl FnOnce()) -> usize {
 
 #[test]
 fn apply_into_is_allocation_free_after_warmup() {
+    // The serving paths below are instrumented with trace spans and
+    // histogram timers, so every zero-alloc measurement in this test
+    // doubles as proof that the *disabled* recorder's fast path adds no
+    // allocations. Pin down both halves of that claim: the recorder
+    // ships disabled, and its probes are alloc-free while disabled.
+    assert!(!trace::enabled(), "trace recorder must ship disabled");
+    let probe_allocs = allocations_during(|| {
+        for _ in 0..16 {
+            let _s = trace::span("alloc-probe");
+            let _a = trace::span_arg("alloc-probe-arg", 3);
+            let _t = trace::time_hist(trace::Hist::ApplyVectorNs);
+            trace::add(trace::Counter::Solves, 1);
+            trace::record_ns(trace::Hist::ApplyBlockNs, 7);
+        }
+    });
+    assert_eq!(probe_allocs, 0, "disabled trace probes allocated");
+
     let n = 48;
     let dense = Mat::from_fn(n, n, |i, j| 1.0 / (1.0 + (i + j) as f64));
     let mut t = Triplets::new(n, n);

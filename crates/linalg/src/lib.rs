@@ -19,6 +19,9 @@
 //!   accumulator.
 //! * [`op`] — the [`CouplingOp`] serving layer: one zero-allocation,
 //!   blocked apply path over every operator representation.
+//! * [`trace`] — zero-dependency observability: RAII spans, atomic
+//!   counters, latency histograms, Chrome-trace export. Off by default;
+//!   the disabled fast path costs one relaxed atomic load.
 //! * [`io`] — Matrix Market import/export of the sparse factors.
 //!
 //! # Example
@@ -42,6 +45,7 @@ pub mod qr;
 pub mod rng;
 pub mod sparse;
 pub mod svd;
+pub mod trace;
 pub mod tridiag;
 
 pub use cg::{cg, pcg, CgResult, IdentityPrecond, LinOp};

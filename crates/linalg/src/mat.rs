@@ -195,6 +195,9 @@ impl Mat {
     pub fn resize(&mut self, n_rows: usize, n_cols: usize) {
         self.n_rows = n_rows;
         self.n_cols = n_cols;
+        if n_rows * n_cols > self.data.capacity() {
+            crate::trace::add(crate::trace::Counter::WorkspaceGrows, 1);
+        }
         self.data.resize(n_rows * n_cols, 0.0);
     }
 

@@ -62,6 +62,7 @@
 
 use crate::mat::Mat;
 use crate::sparse::Csr;
+use crate::trace;
 
 /// Resolves a worker-thread knob: `0` means one worker per available CPU
 /// (the shared `threads: usize, 0 = auto` convention of `BatchOptions`
@@ -238,10 +239,13 @@ impl CouplingOp for Mat {
     }
 
     fn apply_into(&self, x: &[f64], y: &mut [f64], _ws: &mut ApplyWorkspace) {
+        let _t = trace::time_hist(trace::Hist::ApplyVectorNs);
         self.matvec_into(x, y);
     }
 
     fn apply_block_into(&self, x: &Mat, y: &mut Mat, _ws: &mut ApplyWorkspace) {
+        let _s = trace::span("apply_block.dense");
+        let _t = trace::time_hist(trace::Hist::ApplyBlockNs);
         self.matmul_into(x, y);
     }
 
@@ -275,10 +279,13 @@ impl CouplingOp for Csr {
     }
 
     fn apply_into(&self, x: &[f64], y: &mut [f64], _ws: &mut ApplyWorkspace) {
+        let _t = trace::time_hist(trace::Hist::ApplyVectorNs);
         self.matvec_into(x, y);
     }
 
     fn apply_block_into(&self, x: &Mat, y: &mut Mat, _ws: &mut ApplyWorkspace) {
+        let _s = trace::span("apply_block.csr");
+        let _t = trace::time_hist(trace::Hist::ApplyBlockNs);
         self.matmul_dense_into(x, y);
     }
 
@@ -470,6 +477,7 @@ impl ParallelApply {
         y: &mut Mat,
     ) {
         assert_eq!(x.n_rows(), op.n(), "parallel apply dimension mismatch");
+        let _pool_span = trace::span("pool.apply_block");
         let n = op.n();
         let b = x.n_cols();
         y.resize(n, b);
@@ -487,11 +495,16 @@ impl ParallelApply {
             // iterate only the nonempty shards so every span stays in
             // bounds
             let shards = n.div_ceil(h);
+            trace::add(trace::Counter::RowShards, shards as u64);
             self.ensure_slots(shards);
             std::thread::scope(|scope| {
                 for (k, slot) in self.slots[..shards].iter_mut().enumerate() {
                     let (i0, i1) = (k * h, ((k + 1) * h).min(n));
-                    scope.spawn(move || slot.run_row_shard(op, x, i0, i1));
+                    scope.spawn(move || {
+                        let _w =
+                            trace::span_track("worker.row_shard", trace::worker_track(k), k as u64);
+                        slot.run_row_shard(op, x, i0, i1)
+                    });
                 }
             });
             // publish: row ranges interleave across the column-major
@@ -513,9 +526,14 @@ impl ParallelApply {
         }
         self.ensure_slots(workers);
         let w = b.div_ceil(workers);
+        trace::add(trace::Counter::ColPanels, b.div_ceil(w) as u64);
         std::thread::scope(|scope| {
             for ((k, slot), y_panel) in self.slots.iter_mut().enumerate().zip(y.col_chunks_mut(w)) {
-                scope.spawn(move || slot.run_col_shard(op, x, k * w, y_panel));
+                scope.spawn(move || {
+                    let _w =
+                        trace::span_track("worker.col_shard", trace::worker_track(k), k as u64);
+                    slot.run_col_shard(op, x, k * w, y_panel)
+                });
             }
         });
     }
@@ -591,6 +609,7 @@ impl CouplingOp for LowRankOp {
     }
 
     fn apply_into(&self, x: &[f64], y: &mut [f64], ws: &mut ApplyWorkspace) {
+        let _h = trace::time_hist(trace::Hist::ApplyVectorNs);
         let (t, _) = ws.mats();
         t.resize(self.rank(), 1);
         self.v.matvec_t_into(x, t.col_mut(0));
@@ -601,6 +620,8 @@ impl CouplingOp for LowRankOp {
     }
 
     fn apply_block_into(&self, x: &Mat, y: &mut Mat, ws: &mut ApplyWorkspace) {
+        let _s = trace::span("apply_block.lowrank");
+        let _h = trace::time_hist(trace::Hist::ApplyBlockNs);
         let (t, _) = ws.mats();
         self.v.matmul_tn_into(x, t);
         for tj in t.cols_mut() {

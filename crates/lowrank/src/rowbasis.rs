@@ -22,7 +22,7 @@ use subsparse_hier::{HierError, Quadtree, Square};
 use subsparse_layout::Layout;
 use subsparse_linalg::qr::orthonormal_completion;
 use subsparse_linalg::svd::svd;
-use subsparse_linalg::Mat;
+use subsparse_linalg::{trace, Mat};
 use subsparse_substrate::{solver as subsolver, SubstrateSolver};
 
 use crate::LowRankOptions;
@@ -264,6 +264,7 @@ pub fn build_row_basis<S: SubstrateSolver + ?Sized>(
 
     // ================= coarsest level (2): direct solves =================
     {
+        let _s = trace::span("extract.lowrank.coarsest-probe");
         let lev = 2;
         // one random sample vector per nonempty square, all solved as one
         // RHS block (drawing order is unchanged, so seeds reproduce)
@@ -346,6 +347,7 @@ pub fn build_row_basis<S: SubstrateSolver + ?Sized>(
 
     // ================= finer levels: splitting + combine-solves ==========
     for lev in 3..=finest {
+        let _s = trace::span_arg("extract.lowrank.split-level", lev as u64);
         // -- sample vectors for every nonempty square
         let side = tree.side(lev);
         let mut samples: Vec<Vec<Vec<f64>>> = vec![Vec::new(); side * side];
@@ -440,7 +442,10 @@ pub fn build_row_basis<S: SubstrateSolver + ?Sized>(
     }
 
     // ================= finest level local blocks =========================
-    let finest_local = build_finest_local(solver, &tree, &squares, options);
+    let finest_local = {
+        let _s = trace::span("extract.lowrank.finest-local");
+        build_finest_local(solver, &tree, &squares, options)
+    };
 
     Ok(RowBasisRep { tree, n, squares, finest_local })
 }

@@ -16,7 +16,7 @@
 use subsparse_hier::{BasisRep, Quadtree, Square, SymmetricAccumulator};
 use subsparse_linalg::qr::orthonormal_completion;
 use subsparse_linalg::svd::svd;
-use subsparse_linalg::{Mat, Triplets};
+use subsparse_linalg::{trace, Mat, Triplets};
 
 use crate::rowbasis::{RowBasisRep, SquareData};
 
@@ -66,6 +66,7 @@ pub fn to_basis_rep(rb: &RowBasisRep) -> BasisRep {
 
 /// [`to_basis_rep`] with explicit rank-truncation parameters.
 pub fn to_basis_rep_with(rb: &RowBasisRep, rank_tol: f64, max_rank: usize) -> BasisRep {
+    let _s = trace::span("extract.lowrank.sweep");
     let tree = rb.tree();
     let n = rb.n();
     let finest = tree.finest();

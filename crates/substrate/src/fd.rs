@@ -527,6 +527,7 @@ impl SubstrateSolver for FdSolver {
     }
 
     fn solve(&self, contact_voltages: &[f64]) -> Vec<f64> {
+        let _t = crate::solver::SolveTrace::begin("solve.fd", 1);
         let mut currents = vec![0.0; self.n_contacts];
         self.solve_one(contact_voltages, &mut currents);
         currents
@@ -534,6 +535,7 @@ impl SubstrateSolver for FdSolver {
 
     fn solve_batch(&self, voltages: &subsparse_linalg::Mat) -> subsparse_linalg::Mat {
         assert_eq!(voltages.n_rows(), self.n_contacts, "voltage block row mismatch");
+        let _t = crate::solver::SolveTrace::begin("solve_batch.fd", voltages.n_cols());
         crate::solver::solve_columns_threaded(
             voltages,
             self.n_contacts,

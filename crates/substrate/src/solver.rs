@@ -39,7 +39,40 @@
 //! plumbed by CLIs/benches into the solver configs at construction time.
 
 use std::sync::atomic::{AtomicUsize, Ordering};
-use subsparse_linalg::Mat;
+use subsparse_linalg::{trace, Mat};
+
+/// Shared per-backend solve instrumentation: counts the solves and RHS
+/// columns, opens the backend's span, and attributes the wall time as
+/// `k` equal [`trace::Hist::SolveNs`] shares when dropped.
+pub(crate) struct SolveTrace {
+    span: trace::Span,
+    start: Option<std::time::Instant>,
+    k: u64,
+}
+
+impl SolveTrace {
+    pub(crate) fn begin(name: &'static str, k: usize) -> SolveTrace {
+        let k = k as u64;
+        trace::add(trace::Counter::Solves, k);
+        trace::add(trace::Counter::RhsColumns, k);
+        SolveTrace {
+            span: trace::span_arg(name, k),
+            start: trace::enabled().then(std::time::Instant::now),
+            k,
+        }
+    }
+}
+
+impl Drop for SolveTrace {
+    fn drop(&mut self) {
+        if let Some(start) = self.start.take() {
+            let ns = start.elapsed().as_nanos() as u64;
+            trace::record_ns_many(trace::Hist::SolveNs, ns / self.k.max(1), self.k);
+        }
+        // span closes after the histogram sample, same scope either way
+        let _ = &self.span;
+    }
+}
 
 /// Batching and threading knobs shared by every extraction pipeline.
 ///
@@ -333,11 +366,13 @@ impl SubstrateSolver for DenseSolver {
         self.g.n_rows()
     }
     fn solve(&self, contact_voltages: &[f64]) -> Vec<f64> {
+        let _t = SolveTrace::begin("solve.dense", 1);
         self.g.matvec(contact_voltages)
     }
     fn solve_batch(&self, voltages: &Mat) -> Mat {
         // one cache-blocked gemm instead of n_cols matvec passes over G;
         // bit-identical columns (the gemm keeps the accumulation order)
+        let _t = SolveTrace::begin("solve_batch.dense", voltages.n_cols());
         self.g.matmul(voltages)
     }
 }

@@ -13,7 +13,7 @@ use subsparse_hier::{FastWaveletTransform, HierError, Quadtree, Square};
 use subsparse_layout::Layout;
 use subsparse_linalg::qr::orthonormal_completion;
 use subsparse_linalg::svd::svd;
-use subsparse_linalg::{Csr, Mat, Triplets};
+use subsparse_linalg::{trace, Csr, Mat, Triplets};
 
 /// Relative singular-value tolerance used to decide the rank of moment
 /// matrices ("number of nonzero singular values", §3.4.1).
@@ -128,6 +128,7 @@ impl WaveletBasis {
 /// Returns an error if a contact crosses a finest-square boundary (split
 /// the layout first) or the layout is empty.
 pub fn build_basis(layout: &Layout, levels: usize, p: usize) -> Result<WaveletBasis, HierError> {
+    let _s = trace::span("extract.wavelet.basis-build");
     let tree = Quadtree::new(layout, levels)?;
     let n = layout.n_contacts();
     let d = n_moments(p);

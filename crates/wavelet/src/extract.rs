@@ -12,7 +12,7 @@
 //! plus everything involving the coarsest-level nonvanishing vectors.
 
 use subsparse_hier::{BasisRep, Square, SymmetricAccumulator};
-use subsparse_linalg::{Csr, Mat};
+use subsparse_linalg::{trace, Csr, Mat};
 use subsparse_substrate::{solver, SubstrateSolver};
 
 use crate::basis::WaveletBasis;
@@ -66,19 +66,22 @@ pub fn extract<S: SubstrateSolver + ?Sized>(
     // is projected onto *all* basis vectors (forms 3.21-3.23 of the
     // thesis are never assumed small).
     let q = basis.q();
-    solver::for_each_batched(
-        solver,
-        options.max_batch,
-        (0..basis.root_v()).map(|j| (j, q_column(q, j, n))),
-        |j, y| {
-            let gw_col = q.matvec_t(y);
-            for (i, &v) in gw_col.iter().enumerate() {
-                if v != 0.0 {
-                    acc.add(i, j, v);
+    {
+        let _s = trace::span("extract.wavelet.root-solves");
+        solver::for_each_batched(
+            solver,
+            options.max_batch,
+            (0..basis.root_v()).map(|j| (j, q_column(q, j, n))),
+            |j, y| {
+                let gw_col = q.matvec_t(y);
+                for (i, &v) in gw_col.iter().enumerate() {
+                    if v != 0.0 {
+                        acc.add(i, j, v);
+                    }
                 }
-            }
-        },
-    );
+            },
+        );
+    }
 
     // ---- vanishing-moment vectors, level by level (source level l).
     // The combined vectors of a level are mutually independent, so they
@@ -88,6 +91,7 @@ pub fn extract<S: SubstrateSolver + ?Sized>(
     // original order, so the result is identical to the
     // one-solve-at-a-time loop.
     for l in 0..=finest {
+        let _s = trace::span_arg("extract.wavelet.combine-level", l as u64);
         let side = tree.side(l);
         let spacing = if options.spacing == 0 { 0 } else { options.spacing.min(side) };
         let max_w = basis.max_w(l);
