@@ -6,7 +6,7 @@
 use subsparse_bench::apply_speed::{format_rows, run_apply_speed, DEFAULT_THREADS, FWT_CSR_TOL};
 
 fn main() {
-    let report = run_apply_speed(true, DEFAULT_THREADS);
+    let report = run_apply_speed(true, DEFAULT_THREADS, None);
     print!("{}", format_rows(&report.rows));
     assert!(report.rows.iter().all(|r| r.bit_equal), "an apply diverged");
     assert!(

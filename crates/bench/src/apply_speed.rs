@@ -25,13 +25,14 @@
 
 use std::fmt::Write as _;
 
+use subsparse::hier::FwtLevelExec;
 use subsparse::layout::generators;
 use subsparse::linalg::rng::SmallRng;
 use subsparse::linalg::{ApplyWorkspace, CouplingOp, LowRankOp, Mat, ParallelApply};
 use subsparse::lowrank::LowRankOptions;
 use subsparse::sparsify::eval::format_ns;
 use subsparse::substrate::solver;
-use subsparse::{extract_lowrank, extract_wavelet};
+use subsparse::{extract_lowrank, extract_wavelet, BasisRep};
 
 use crate::timing;
 
@@ -41,6 +42,10 @@ pub const BLOCK_WIDTHS: [usize; 3] = [1, 8, 32];
 /// Default worker count of the thread-parallel rows (the `--threads`
 /// flag of the `apply_speed` binary overrides it; 1 disables them).
 pub const DEFAULT_THREADS: usize = 2;
+
+/// Largest `ns_per_vector` regression the `--baseline FILE` mode
+/// tolerates before exiting nonzero (fractional: 0.10 = 10% slower).
+pub const BASELINE_TOL_FRAC: f64 = 0.10;
 
 /// Largest relative 2-norm divergence tolerated between the fast-wavelet-
 /// transform apply and the explicit-CSR apply of the same representation
@@ -97,10 +102,14 @@ fn bench_op(
     n: usize,
     op: &(dyn CouplingOp + Sync),
     threads: usize,
+    min_work: Option<usize>,
     rows: &mut Vec<ApplySpeedRow>,
 ) {
     let mut ws = ApplyWorkspace::new();
     let mut pool = ParallelApply::new(threads);
+    if let Some(mw) = min_work {
+        pool = pool.with_min_work(mw);
+    }
     let mut y = vec![0.0; n];
     for &block in &BLOCK_WIDTHS {
         let x = Mat::from_fn(n, block, |i, j| ((i * 37 + j * 11) % 101) as f64 / 101.0 - 0.5);
@@ -174,6 +183,70 @@ fn bench_op(
     }
 }
 
+/// Times the *level-parallel* fast-wavelet-transform serving pipeline
+/// (`wavelet_fwt_lp`): [`FwtLevelExec`] forward, row-sharded `Gw` apply
+/// through [`ParallelApply`], [`FwtLevelExec`] inverse. Emits threaded
+/// rows only (the serial `wavelet_fwt` rows already cover one worker),
+/// each gated bit-for-bit against the serial fast-transform apply — the
+/// executor's contract is bit-identity, not tolerance.
+fn bench_fwt_level_parallel(
+    n: usize,
+    rep: &BasisRep,
+    threads: usize,
+    min_work: Option<usize>,
+    rows: &mut Vec<ApplySpeedRow>,
+) {
+    if threads <= 1 {
+        return;
+    }
+    let fwt = rep.fwt().expect("wavelet_fwt_lp needs a fast transform");
+    let mut exec = FwtLevelExec::new(threads);
+    let mut pool = ParallelApply::new(threads);
+    if let Some(mw) = min_work {
+        exec = exec.with_min_work(mw);
+        pool = pool.with_min_work(mw);
+    }
+    let mut ws = ApplyWorkspace::new();
+    let (mut wa, mut wb) = (Mat::zeros(0, 0), Mat::zeros(0, 0));
+    let (mut s1, mut s2) = (Mat::zeros(0, 0), Mat::zeros(0, 0));
+    let mut yt = Mat::zeros(0, 0);
+    for &block in &BLOCK_WIDTHS {
+        let x = Mat::from_fn(n, block, |i, j| ((i * 37 + j * 11) % 101) as f64 / 101.0 - 0.5);
+        // serial reference: the single-threaded fast-transform apply
+        let mut yb = Mat::zeros(0, 0);
+        rep.apply_block_into(&x, &mut yb, &mut ws);
+        // the level-parallel pipeline: forward, Gw, inverse
+        exec.forward_block_into(fwt, &x, &mut wa, &mut s1, &mut s2);
+        pool.apply_block_into(&rep.gw, &wa, &mut wb);
+        exec.inverse_block_into(fwt, &wb, &mut yt, &mut s1, &mut s2);
+        let mut bit_equal = true;
+        for j in 0..block {
+            if yt.col(j) != yb.col(j) {
+                bit_equal = false;
+            }
+        }
+        let t = exec.resolved_threads();
+        let label = format!("{:<12} n={n:<5} b={block} t={t}", "wavelet_fwt_lp");
+        let stats = timing::bench_stats(&label, || {
+            exec.forward_block_into(fwt, std::hint::black_box(&x), &mut wa, &mut s1, &mut s2);
+            pool.apply_block_into(&rep.gw, &wa, &mut wb);
+            exec.inverse_block_into(fwt, &wb, &mut yt, &mut s1, &mut s2);
+            std::hint::black_box(&yt);
+        });
+        rows.push(ApplySpeedRow {
+            method: "wavelet_fwt_lp".to_string(),
+            n,
+            block,
+            threads: t,
+            nnz: rep.nnz(),
+            ns_per_vector: stats.p50 / block as f64,
+            ns_min: stats.min / block as f64,
+            ns_mean: stats.mean / block as f64,
+            bit_equal,
+        });
+    }
+}
+
 /// The full comparison's result: the timing rows plus the worst observed
 /// divergence between the two wavelet serving paths (gated against
 /// [`FWT_CSR_TOL`] by the binary and CI).
@@ -216,7 +289,12 @@ fn fwt_vs_csr_err(fast: &dyn CouplingOp, slow: &dyn CouplingOp, n: usize) -> f64
 /// quick grid (64 contacts) or the full sizes (256 and 1024 — the regime
 /// where the fast transform must win for the sparse serving claim to
 /// cash out).
-pub fn run_apply_speed(quick: bool, threads: usize) -> ApplySpeedReport {
+///
+/// `min_work` overrides the executors' min-work-per-worker dispatch
+/// threshold (`Some(0)` forces every threaded row to actually engage the
+/// pool; `None` keeps the serving default, under which applies too small
+/// to amortize a hand-off run inline and emit no threaded row).
+pub fn run_apply_speed(quick: bool, threads: usize, min_work: Option<usize>) -> ApplySpeedReport {
     // resolve the knob up front (0 = one worker per CPU) so the threaded
     // rows run — and record their real worker count — under `--threads 0`
     let threads = subsparse::linalg::resolve_threads(threads);
@@ -255,13 +333,15 @@ pub fn run_apply_speed(quick: bool, threads: usize) -> ApplySpeedReport {
         let s: Vec<f64> = (0..r).map(|i| 1.0 / (1.0 + i as f64)).collect();
         let factored = LowRankOp::new(u, s, v);
 
-        bench_op("dense", n, dense.matrix(), threads, &mut rows);
-        bench_op("wavelet_raw", n, &wavelet_raw_csr, threads, &mut rows);
-        bench_op("wavelet", n, &wavelet_gwt_csr, threads, &mut rows);
-        bench_op("wavelet_fwt", n, &wavelet_gwt, threads, &mut rows);
-        bench_op("lowrank", n, &lowrank.rep, threads, &mut rows);
-        bench_op("lowrank_gwt", n, &thresh, threads, &mut rows);
-        bench_op("factored", n, &factored, threads, &mut rows);
+        bench_op("dense", n, dense.matrix(), threads, min_work, &mut rows);
+        bench_op("wavelet_raw", n, &wavelet_raw_csr, threads, min_work, &mut rows);
+        bench_op("wavelet", n, &wavelet_gwt_csr, threads, min_work, &mut rows);
+        bench_op("wavelet_fwt", n, &wavelet_gwt, threads, min_work, &mut rows);
+        bench_op("lowrank", n, &lowrank.rep, threads, min_work, &mut rows);
+        bench_op("lowrank_gwt", n, &thresh, threads, min_work, &mut rows);
+        bench_op("factored", n, &factored, threads, min_work, &mut rows);
+        // the level-parallel fast-transform pipeline, threaded rows only
+        bench_fwt_level_parallel(n, &wavelet_gwt, threads, min_work, &mut rows);
     }
     ApplySpeedReport { rows, fwt_vs_csr_rel_err }
 }
@@ -321,25 +401,182 @@ pub fn rows_json(rows: &[ApplySpeedRow]) -> String {
     )
 }
 
+/// One (method, n, block, threads) key matched between the current run
+/// and a committed baseline record.
+#[derive(Clone, Debug)]
+pub struct BaselineDelta {
+    /// Representation name of the matched row.
+    pub method: String,
+    /// Contact count of the matched row.
+    pub n: usize,
+    /// Block width of the matched row.
+    pub block: usize,
+    /// Worker count of the matched row.
+    pub threads: usize,
+    /// Committed `ns_per_vector`.
+    pub baseline_ns: f64,
+    /// Freshly measured `ns_per_vector`.
+    pub current_ns: f64,
+}
+
+impl BaselineDelta {
+    /// Fractional change (`0.10` = 10% slower than the baseline).
+    pub fn frac(&self) -> f64 {
+        (self.current_ns - self.baseline_ns) / self.baseline_ns
+    }
+}
+
+/// Result of diffing a run against a committed `BENCH_apply_speed.json`.
+#[derive(Clone, Debug)]
+pub enum BaselineOutcome {
+    /// The baseline was recorded under a different machine shape or build
+    /// profile — per-row times aren't comparable, so nothing was gated.
+    MetaMismatch {
+        /// Human-readable description of what differed.
+        reason: String,
+    },
+    /// Every (method, n, block, threads) key present in both records,
+    /// with its timing delta.
+    Compared {
+        /// One entry per matched key (unmatched keys on either side are
+        /// ignored: methods and sizes come and go across revisions).
+        deltas: Vec<BaselineDelta>,
+    },
+}
+
+/// Extracts the first `"key":<number>` value from a JSON object snippet.
+fn json_num(obj: &str, key: &str) -> Option<f64> {
+    let pat = format!("\"{key}\":");
+    let rest = &obj[obj.find(&pat)? + pat.len()..];
+    let end = rest
+        .find(|c: char| !(c.is_ascii_digit() || c == '.' || c == '-' || c == 'e' || c == 'E'))
+        .unwrap_or(rest.len());
+    rest[..end].parse().ok()
+}
+
+/// Extracts the first `"key":"string"` value from a JSON object snippet.
+fn json_str<'a>(obj: &'a str, key: &str) -> Option<&'a str> {
+    let pat = format!("\"{key}\":\"");
+    let rest = &obj[obj.find(&pat)? + pat.len()..];
+    Some(&rest[..rest.find('"')?])
+}
+
+/// Diffs freshly measured rows against a committed baseline record
+/// (the `BENCH_apply_speed.json` format [`rows_json`] emits).
+///
+/// Meta-aware: times are only compared when the baseline's
+/// `available_parallelism` and `build_profile` match the current
+/// process's — a 1-CPU container diffing against an 8-CPU baseline (or a
+/// debug build against a release record) reports [`MetaMismatch`]
+/// (BaselineOutcome::MetaMismatch) instead of spurious regressions.
+/// Within a matching record, only keys present on both sides are
+/// compared. The caller gates on [`BaselineDelta::frac`] against
+/// [`BASELINE_TOL_FRAC`].
+pub fn diff_baseline(
+    rows: &[ApplySpeedRow],
+    baseline_json: &str,
+) -> Result<BaselineOutcome, String> {
+    let meta_start = baseline_json.find("\"meta\":{").ok_or("baseline has no \"meta\" header")?;
+    let meta = &baseline_json[meta_start..];
+    let meta = &meta[..meta.find('}').ok_or("unterminated meta object")? + 1];
+    let base_par =
+        json_num(meta, "available_parallelism").ok_or("meta lacks available_parallelism")? as usize;
+    let base_profile = json_str(meta, "build_profile").ok_or("meta lacks build_profile")?;
+    let cur_par = std::thread::available_parallelism().map_or(0, |p| p.get());
+    let cur_profile = if cfg!(debug_assertions) { "debug" } else { "release" };
+    if base_par != cur_par || base_profile != cur_profile {
+        return Ok(BaselineOutcome::MetaMismatch {
+            reason: format!(
+                "baseline recorded at parallelism={base_par} profile={base_profile}, \
+                 this run is parallelism={cur_par} profile={cur_profile}"
+            ),
+        });
+    }
+    let mut deltas = Vec::new();
+    let mut start = meta_start + meta.len();
+    while let Some(off) = baseline_json[start..].find("{\"method\"") {
+        let obj_start = start + off;
+        let obj = &baseline_json[obj_start..];
+        let obj = &obj[..obj.find('}').ok_or("unterminated row object")? + 1];
+        start = obj_start + obj.len();
+        let method = json_str(obj, "method").ok_or("row lacks method")?;
+        let n = json_num(obj, "n").ok_or("row lacks n")? as usize;
+        let block = json_num(obj, "block").ok_or("row lacks block")? as usize;
+        let threads = json_num(obj, "threads").ok_or("row lacks threads")? as usize;
+        let baseline_ns = json_num(obj, "ns_per_vector").ok_or("row lacks ns_per_vector")?;
+        if baseline_ns <= 0.0 {
+            return Err(format!("baseline row {method} n={n} has nonpositive ns_per_vector"));
+        }
+        if let Some(cur) = rows
+            .iter()
+            .find(|r| r.method == method && r.n == n && r.block == block && r.threads == threads)
+        {
+            deltas.push(BaselineDelta {
+                method: method.to_string(),
+                n,
+                block,
+                threads,
+                baseline_ns,
+                current_ns: cur.ns_per_vector,
+            });
+        }
+    }
+    if deltas.is_empty() {
+        return Err("baseline shares no (method, n, block, threads) keys with this run".into());
+    }
+    Ok(BaselineOutcome::Compared { deltas })
+}
+
+/// Formats a baseline comparison as an aligned table, worst change first.
+pub fn format_baseline(deltas: &[BaselineDelta]) -> String {
+    let mut sorted: Vec<&BaselineDelta> = deltas.iter().collect();
+    sorted.sort_by(|a, b| b.frac().total_cmp(&a.frac()));
+    let mut out = String::new();
+    writeln!(
+        out,
+        "\n{:<14} {:>6} {:>6} {:>7} {:>12} {:>12} {:>8}",
+        "method", "n", "block", "thr", "baseline", "current", "change"
+    )
+    .unwrap();
+    for d in sorted {
+        writeln!(
+            out,
+            "{:<14} {:>6} {:>6} {:>7} {:>12} {:>12} {:>+7.1}%",
+            d.method,
+            d.n,
+            d.block,
+            d.threads,
+            format_ns(d.baseline_ns),
+            format_ns(d.current_ns),
+            d.frac() * 100.0,
+        )
+        .unwrap();
+    }
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
 
     #[test]
     fn quick_rows_cover_methods_blocks_and_threads() {
-        let report = run_apply_speed(true, 2);
+        // min_work 0: the quick fixture (64 contacts) sits below the
+        // serving threshold, and this test is about the threaded rows
+        let report = run_apply_speed(true, 2, Some(0));
         let rows = &report.rows;
         let serial = rows.iter().filter(|r| r.threads == 1).count();
         let threaded: Vec<_> = rows.iter().filter(|r| r.threads > 1).collect();
         assert_eq!(serial, 7 * BLOCK_WIDTHS.len());
-        // every wide block engages both workers; 1-column blocks engage a
-        // second worker only on the row-shardable dense matrix (the
-        // structured representations degrade to serial there, and no row
-        // is emitted rather than re-measuring serial under a threaded
-        // label)
-        assert_eq!(threaded.len(), 7 * 2 + 1);
+        // every representation now engages both workers at every block
+        // width (wide blocks shard columns; 1-column blocks row-shard
+        // through the two-phase path every op supports), plus the
+        // level-parallel fwt pipeline rows
+        assert_eq!(threaded.len(), 7 * BLOCK_WIDTHS.len() + BLOCK_WIDTHS.len());
         assert!(threaded.iter().all(|r| r.threads == 2));
-        assert!(threaded.iter().filter(|r| r.block == 1).all(|r| r.method == "dense"));
+        let lp: Vec<_> = threaded.iter().filter(|r| r.method == "wavelet_fwt_lp").collect();
+        assert_eq!(lp.len(), BLOCK_WIDTHS.len());
+        assert!(lp.iter().all(|r| r.bit_equal), "level-parallel fwt diverged");
         assert!(rows.iter().all(|r| r.bit_equal), "an apply diverged");
         assert!(rows.iter().all(|r| r.ns_per_vector > 0.0));
         // min over batches can never exceed the median batch, and every
@@ -353,6 +590,7 @@ mod tests {
         );
         let json = rows_json(rows);
         assert!(json.contains("\"method\":\"wavelet_fwt\"") && json.contains("\"block\":32"));
+        assert!(json.contains("\"method\":\"wavelet_fwt_lp\""));
         assert!(json.contains("\"threads\":1") && json.contains("\"threads\":2"));
         // the run-metadata stamp and the noise-robust statistics
         assert!(json.contains("\"meta\":{\"available_parallelism\":"));
@@ -363,8 +601,74 @@ mod tests {
         let nnz_of = |m: &str| rows.iter().find(|r| r.method == m).unwrap().nnz;
         assert!(nnz_of("wavelet_fwt") < nnz_of("wavelet"));
         // threads = 1 keeps the historical shape: serial rows only
-        let serial_only = run_apply_speed(true, 1);
+        let serial_only = run_apply_speed(true, 1, None);
         assert_eq!(serial_only.rows.len(), 7 * BLOCK_WIDTHS.len());
         assert!(serial_only.rows.iter().all(|r| r.threads == 1));
+    }
+
+    fn fixture_row(ns: f64) -> ApplySpeedRow {
+        ApplySpeedRow {
+            method: "dense".into(),
+            n: 64,
+            block: 8,
+            threads: 1,
+            nnz: 10,
+            ns_per_vector: ns,
+            ns_min: ns,
+            ns_mean: ns,
+            bit_equal: true,
+        }
+    }
+
+    fn fixture_baseline(parallelism: usize, profile: &str) -> String {
+        format!(
+            "{{\"meta\":{{\"available_parallelism\":{parallelism},\"build_profile\":\"{profile}\",\"repeats\":11}},\n\
+             \"rows\":[\n  \
+             {{\"method\":\"dense\",\"n\":64,\"block\":8,\"threads\":1,\"nnz\":10,\"ns_per_vector\":100.0,\"ns_min\":90.0,\"ns_mean\":100.0,\"bit_equal\":true}},\n  \
+             {{\"method\":\"retired\",\"n\":1,\"block\":1,\"threads\":1,\"nnz\":1,\"ns_per_vector\":5.0,\"ns_min\":5.0,\"ns_mean\":5.0,\"bit_equal\":true}}\n\
+             ]}}\n"
+        )
+    }
+
+    #[test]
+    fn baseline_diff_matches_keys_and_is_meta_aware() {
+        let rows = vec![fixture_row(110.0)];
+        let cur_par = std::thread::available_parallelism().map_or(0, |p| p.get());
+        let cur_profile = if cfg!(debug_assertions) { "debug" } else { "release" };
+        // matching meta: the shared key is compared, the retired key is
+        // ignored, and the 10% slowdown is reported exactly
+        match diff_baseline(&rows, &fixture_baseline(cur_par, cur_profile)).unwrap() {
+            BaselineOutcome::Compared { deltas } => {
+                assert_eq!(deltas.len(), 1);
+                assert!((deltas[0].frac() - 0.10).abs() < 1e-12);
+                let table = format_baseline(&deltas);
+                assert!(table.contains("dense") && table.contains("+10.0%"));
+            }
+            other => panic!("expected a comparison, got {other:?}"),
+        }
+        // a faster run is a negative fraction, under any gate
+        match diff_baseline(&[fixture_row(80.0)], &fixture_baseline(cur_par, cur_profile)) {
+            Ok(BaselineOutcome::Compared { deltas }) => {
+                assert!(deltas[0].frac() < 0.0 && deltas[0].frac() < BASELINE_TOL_FRAC);
+            }
+            other => panic!("expected a comparison, got {other:?}"),
+        }
+        // different machine shape or build profile: explicitly not
+        // comparable, never a spurious regression
+        let other_profile = if cfg!(debug_assertions) { "release" } else { "debug" };
+        for bad in
+            [fixture_baseline(cur_par + 7, cur_profile), fixture_baseline(cur_par, other_profile)]
+        {
+            match diff_baseline(&rows, &bad).unwrap() {
+                BaselineOutcome::MetaMismatch { reason } => {
+                    assert!(reason.contains("parallelism"));
+                }
+                other => panic!("expected meta mismatch, got {other:?}"),
+            }
+        }
+        // disjoint keys and malformed records are hard errors
+        let disjoint = vec![ApplySpeedRow { method: "novel".into(), ..fixture_row(1.0) }];
+        assert!(diff_baseline(&disjoint, &fixture_baseline(cur_par, cur_profile)).is_err());
+        assert!(diff_baseline(&rows, "{}").is_err());
     }
 }

@@ -473,27 +473,64 @@ impl CouplingOp for BasisRep {
 
     fn apply_block_into(&self, x: &Mat, y: &mut Mat, ws: &mut ApplyWorkspace) {
         let _h = trace::time_hist(trace::Hist::ApplyBlockNs);
+        let _s = trace::span(if self.fwt.is_some() {
+            "apply_block.basis-rep-fwt"
+        } else {
+            "apply_block.basis-rep"
+        });
+        // analysis half + sparse product (shared with the row-sharded
+        // path, so both assemble the same bits), then the synthesis half
+        self.prepare_rows(x, ws);
         let (wa, wb, wc) = ws.mats3();
         if let Some(fwt) = &self.fwt {
-            let _s = trace::span("apply_block.basis-rep-fwt");
-            fwt.forward_block_into(x, y, wa, wc);
-            {
-                let _gw = trace::span("rep.gw");
-                self.gw.matmul_dense_into(y, wb);
-            }
             fwt.inverse_block_into(wb, y, wa, wc);
         } else {
-            let _s = trace::span("apply_block.basis-rep");
+            let _q = trace::span("rep.q");
+            self.q.matmul_dense_into(wb, y);
+        }
+    }
+
+    fn supports_row_shard(&self) -> bool {
+        true
+    }
+
+    /// The cooperative phase: the transformed-basis coefficients
+    /// `C = Gw (Q' X)` — the analysis transform plus the sparse product —
+    /// computed once into the shared workspace (second scratch matrix).
+    /// Only the synthesis (`Q C`, whose output rows are independent) is
+    /// row-sharded.
+    fn prepare_rows(&self, x: &Mat, prep: &mut ApplyWorkspace) {
+        let (wa, wb, wc) = prep.mats3();
+        if let Some(fwt) = &self.fwt {
+            fwt.forward_block_into(x, wa, wb, wc);
+            let _gw = trace::span("rep.gw");
+            self.gw.matmul_dense_into(wa, wb);
+        } else {
             {
                 let _qt = trace::span("rep.qt");
                 self.qt.matmul_dense_into(x, wa);
             }
-            {
-                let _gw = trace::span("rep.gw");
-                self.gw.matmul_dense_into(wa, wb);
-            }
-            let _q = trace::span("rep.q");
-            self.q.matmul_dense_into(wb, y);
+            let _gw = trace::span("rep.gw");
+            self.gw.matmul_dense_into(wa, wb);
+        }
+    }
+
+    fn apply_rows_into(
+        &self,
+        _x: &Mat,
+        prep: &ApplyWorkspace,
+        i0: usize,
+        i1: usize,
+        y_rows: &mut Mat,
+        ws: &mut ApplyWorkspace,
+    ) {
+        let (_, wb, _) = prep.mats_ref();
+        if let Some(fwt) = &self.fwt {
+            // row-restricted synthesis through the tree, private scratch
+            let (s1, s2) = ws.mats();
+            fwt.inverse_rows_into(wb, i0, i1, y_rows, s1, s2);
+        } else {
+            self.q.matmul_dense_rows_into(wb, i0, i1, y_rows);
         }
     }
 }

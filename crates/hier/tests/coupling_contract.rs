@@ -87,9 +87,21 @@ fn assert_parallel_bit_agrees(op: &(dyn CouplingOp + Sync), label: &str) {
     let mut ws = ApplyWorkspace::new();
     let mut serial = Mat::zeros(0, 0);
     let mut threaded = Mat::zeros(0, 0);
+    // the contract fixtures sit far below the default min-work inline
+    // threshold, so the threaded paths this suite exists to pin would
+    // silently degrade to serial; min_work 0 forces them to engage — and
+    // on operators with at least two row shards' worth of rows, the
+    // row-sharded (two-phase, for the structured reps) path must actually
+    // be the one dispatched on narrow blocks
+    if n >= 32 {
+        assert!(
+            ParallelApply::new(2).with_min_work(0).planned_workers(op, 1) > 1,
+            "{label}: narrow-block apply must engage the row-sharded path"
+        );
+    }
     // 1, 2, auto-detected, and more workers than rows/columns
     for threads in [1usize, 2, 0, n + 7] {
-        let mut pool = ParallelApply::new(threads);
+        let mut pool = ParallelApply::new(threads).with_min_work(0);
         for block in [1usize, 3, 8, 11] {
             let x = random_mat(n, block, 0xBEEF ^ (threads as u64) << 8 ^ block as u64);
             op.apply_block_into(&x, &mut serial, &mut ws);
@@ -124,13 +136,22 @@ fn parallel_apply_bit_agrees_on_every_representation() {
     let fwt_rep = haar8_rep();
     assert_eq!(fwt_rep.kind(), "basis-rep-fwt");
     assert_parallel_bit_agrees(&fwt_rep, "basis-rep-fwt");
+    // and a tree big enough to row-shard pins the two-phase path: the
+    // shared analysis half computed once, the restricted synthesis
+    // reassembling the serial bits across every range
+    let big_fwt_rep = haar_chain_rep(64);
+    assert_eq!(big_fwt_rep.kind(), "basis-rep-fwt");
+    assert!(big_fwt_rep.supports_row_shard());
+    assert_parallel_bit_agrees(&big_fwt_rep, "basis-rep-fwt-64");
 }
 
 #[test]
 fn parallel_apply_handles_ops_smaller_than_the_worker_pool() {
     // n = 3 with 8 workers: fewer shards than workers on both axes
+    // (min_work 0 so the sharding logic, not the inline threshold, is
+    // what this test exercises)
     let tiny = random_mat(3, 3, 31);
-    let mut pool = ParallelApply::new(8);
+    let mut pool = ParallelApply::new(8).with_min_work(0);
     for block in [1usize, 2, 5] {
         let x = random_mat(3, block, 32 + block as u64);
         let serial = tiny.apply_block(&x);
@@ -181,6 +202,44 @@ fn haar8_rep() -> BasisRep {
     let fwt = FastWaveletTransform::from_parts(8, 1, vec![finest, root], (0..8).collect(), blocks)
         .unwrap();
     BasisRep::with_fwt(Csr::identity(8), random_csr(8, 8, 0.5, 26), fwt)
+}
+
+/// A complete binary Haar chain on `n = 2^k` contacts (pairs of scaling
+/// coefficients combined per level) with a random sparse `Gw` — large
+/// enough that narrow-block parallel applies dispatch the two-phase
+/// row-sharded synthesis instead of degrading to serial.
+fn haar_chain_rep(n: usize) -> BasisRep {
+    assert!(n.is_power_of_two() && n >= 2);
+    let r = 0.5f64.sqrt();
+    let mut levels = Vec::new();
+    let mut blocks = Vec::new();
+    let mut m = n;
+    let mut li = 0;
+    while m >= 2 {
+        let pairs = m / 2;
+        let wavelet_base = n >> (li + 1);
+        let nodes = (0..pairs)
+            .map(|i| {
+                let block_offset = blocks.len();
+                blocks.extend_from_slice(&[r, r, r, -r]);
+                FwtNode {
+                    in_offset: 2 * i,
+                    in_len: 2,
+                    v_cols: 1,
+                    w_cols: 1,
+                    out_offset: i,
+                    col_start: wavelet_base + i,
+                    block_offset,
+                }
+            })
+            .collect();
+        levels.push(FwtLevel { nodes, coeff_len: pairs });
+        m = pairs;
+        li += 1;
+    }
+    let fwt =
+        FastWaveletTransform::from_parts(n, 1, levels, (0..n as u32).collect(), blocks).unwrap();
+    BasisRep::with_fwt(Csr::identity(n), random_csr(n, n, 0.2, 27), fwt)
 }
 
 #[test]

@@ -1,0 +1,266 @@
+//! Lane-blocked serving kernels, and the scalar references they are
+//! tested against.
+//!
+//! ## Why lanes
+//!
+//! A sequential `f64` accumulation (`acc += v * x`) is one latency chain:
+//! the compiler may not reassociate floating-point adds, so every
+//! multiply-add waits ~4 cycles on the previous one and a 67-nonzero CSR
+//! row costs ~270 cycles no matter how wide the machine is. Splitting the
+//! accumulation into a small fixed number of *lanes* (independent partial
+//! sums, combined in a fixed order at the end) breaks the chain without
+//! giving up determinism: the summation order is part of each kernel's
+//! contract, so identical inputs produce identical bits everywhere the
+//! kernel is used — which is what keeps the serving layer's
+//! blocked ≡ per-vector ≡ row-sharded bit-identity promises intact.
+//!
+//! ## The documented summation orders
+//!
+//! * [`dot4`] / [`gather_dot4`] — four partials over aligned chunks of 4
+//!   (lane `l` takes element `l` of each chunk), a sequential tail for the
+//!   remaining `len % 4` elements, combined as `(s0+s1) + (s2+s3) + tail`.
+//!   This is the order the fast-wavelet-transform kernels have used since
+//!   they were introduced, now shared by the CSR row kernels.
+//! * [`dot8`] — the same scheme with eight partials (`len % 8` tail),
+//!   combined as `((s0+s1)+(s2+s3)) + ((s4+s5)+(s6+s7)) + tail`. Used for
+//!   long contiguous dots (dense transpose applies, `V' x`, norms), where
+//!   eight chains keep two FMA ports saturated.
+//! * [`fused_axpy4`] — four column updates fused into one sweep:
+//!   `y[i] = (((y[i] + a0*c0[i]) + a1*c1[i]) + a2*c2[i]) + a3*c3[i]`,
+//!   left to right. This is **bit-identical** to four sequential
+//!   `axpy` passes in the same column order — fusing only removes three
+//!   round trips of `y` through memory per group of four columns.
+//!
+//! The scalar reference implementations in [`scalar`] stay compiled into
+//! every build; the property suite in `crates/linalg/tests/kernel_props.rs`
+//! cross-checks each lane-blocked kernel against its reference on random
+//! shapes (including ragged tails), bit-exactly where the contract is
+//! bit-identity and to `<= 1e-12` relative error where only the
+//! reassociation differs.
+
+/// Lane count of [`dot4`]/[`gather_dot4`] (the FWT/CSR row order).
+pub const LANES_4: usize = 4;
+
+/// Lane count of [`dot8`] (the long-dot order).
+pub const LANES_8: usize = 8;
+
+/// Dot product with four independent partial sums.
+///
+/// Order contract: lane `l` accumulates elements `l, l+4, l+8, ...` of the
+/// aligned prefix, the `len % 4` remainder accumulates sequentially into a
+/// tail sum, and the result is `(s0+s1) + (s2+s3) + tail`.
+#[inline]
+pub fn dot4(a: &[f64], b: &[f64]) -> f64 {
+    debug_assert_eq!(a.len(), b.len(), "dot4 length mismatch");
+    let len4 = a.len() & !3;
+    let mut s = [0.0f64; 4];
+    for (ca, cb) in a[..len4].chunks_exact(4).zip(b[..len4].chunks_exact(4)) {
+        s[0] += ca[0] * cb[0];
+        s[1] += ca[1] * cb[1];
+        s[2] += ca[2] * cb[2];
+        s[3] += ca[3] * cb[3];
+    }
+    let mut tail = 0.0;
+    for (x, y) in a[len4..].iter().zip(&b[len4..]) {
+        tail += x * y;
+    }
+    (s[0] + s[1]) + (s[2] + s[3]) + tail
+}
+
+/// [`dot4`] against a gathered vector: `sum_i a[i] * x[idx[i]]`, same
+/// four-partial order. This is the CSR row kernel (`a` the stored values,
+/// `idx` the column indices) and the finest-level FWT gather kernel.
+#[inline]
+pub fn gather_dot4(a: &[f64], idx: &[u32], x: &[f64]) -> f64 {
+    debug_assert_eq!(a.len(), idx.len(), "gather_dot4 length mismatch");
+    let len4 = a.len() & !3;
+    let mut s = [0.0f64; 4];
+    for (ca, ci) in a[..len4].chunks_exact(4).zip(idx[..len4].chunks_exact(4)) {
+        s[0] += ca[0] * x[ci[0] as usize];
+        s[1] += ca[1] * x[ci[1] as usize];
+        s[2] += ca[2] * x[ci[2] as usize];
+        s[3] += ca[3] * x[ci[3] as usize];
+    }
+    let mut tail = 0.0;
+    for (av, &ci) in a[len4..].iter().zip(&idx[len4..]) {
+        tail += av * x[ci as usize];
+    }
+    (s[0] + s[1]) + (s[2] + s[3]) + tail
+}
+
+/// Dot product with eight independent partial sums.
+///
+/// Order contract: lane `l` accumulates elements `l, l+8, l+16, ...` of
+/// the aligned prefix, the `len % 8` remainder accumulates sequentially
+/// into a tail sum, and the result is
+/// `((s0+s1)+(s2+s3)) + ((s4+s5)+(s6+s7)) + tail`.
+#[inline]
+pub fn dot8(a: &[f64], b: &[f64]) -> f64 {
+    debug_assert_eq!(a.len(), b.len(), "dot8 length mismatch");
+    let len8 = a.len() & !7;
+    let mut s = [0.0f64; 8];
+    for (ca, cb) in a[..len8].chunks_exact(8).zip(b[..len8].chunks_exact(8)) {
+        for (sl, (av, bv)) in s.iter_mut().zip(ca.iter().zip(cb)) {
+            *sl += av * bv;
+        }
+    }
+    let mut tail = 0.0;
+    for (x, y) in a[len8..].iter().zip(&b[len8..]) {
+        tail += x * y;
+    }
+    ((s[0] + s[1]) + (s[2] + s[3])) + ((s[4] + s[5]) + (s[6] + s[7])) + tail
+}
+
+/// Four fused column updates:
+/// `y[i] = (((y[i] + a[0]*c0[i]) + a[1]*c1[i]) + a[2]*c2[i]) + a[3]*c3[i]`.
+///
+/// Bit-identical to four sequential [`scalar::axpy`] passes
+/// (`axpy(a[0], c0, y)` … `axpy(a[3], c3, y)`): the per-element update is
+/// evaluated left to right, which is exactly the order the four passes
+/// apply. Fusing removes three of the four read-modify-write sweeps of
+/// `y` and gives the optimizer four independent FMA streams per element.
+///
+/// # Panics
+///
+/// Panics (in debug builds) if the slice lengths differ.
+#[inline]
+pub fn fused_axpy4(a: [f64; 4], c0: &[f64], c1: &[f64], c2: &[f64], c3: &[f64], y: &mut [f64]) {
+    debug_assert!(
+        c0.len() == y.len() && c1.len() == y.len() && c2.len() == y.len() && c3.len() == y.len(),
+        "fused_axpy4 length mismatch"
+    );
+    for ((((yi, &v0), &v1), &v2), &v3) in y.iter_mut().zip(c0).zip(c1).zip(c2).zip(c3) {
+        *yi = (((*yi + a[0] * v0) + a[1] * v1) + a[2] * v2) + a[3] * v3;
+    }
+}
+
+/// [`fused_axpy4`] against a scattered output:
+/// `x[idx[i]] = (((x[idx[i]] + a[0]*c0[i]) + a[1]*c1[i]) + a[2]*c2[i]) + a[3]*c3[i]`,
+/// left to right — bit-identical to four sequential scattered axpy passes
+/// in the same column order (the contract of [`fused_axpy4`], applied
+/// through a gather index). This is the finest-level inverse-FWT kernel:
+/// `idx` holds a node's contact indices, `c0..c3` four of its block
+/// columns. `idx` must not repeat an index (FWT nodes gather disjoint
+/// contacts), but the kernel is correct either way — entries are updated
+/// one `i` at a time.
+///
+/// # Panics
+///
+/// Panics (in debug builds) if the column lengths differ from `idx`'s.
+#[inline]
+pub fn fused_scatter_axpy4(
+    a: [f64; 4],
+    c0: &[f64],
+    c1: &[f64],
+    c2: &[f64],
+    c3: &[f64],
+    idx: &[u32],
+    x: &mut [f64],
+) {
+    debug_assert!(
+        c0.len() == idx.len()
+            && c1.len() == idx.len()
+            && c2.len() == idx.len()
+            && c3.len() == idx.len(),
+        "fused_scatter_axpy4 length mismatch"
+    );
+    for ((((&ci, &v0), &v1), &v2), &v3) in idx.iter().zip(c0).zip(c1).zip(c2).zip(c3) {
+        let xi = &mut x[ci as usize];
+        *xi = (((*xi + a[0] * v0) + a[1] * v1) + a[2] * v2) + a[3] * v3;
+    }
+}
+
+/// Scalar reference kernels: the single-accumulator loops the lane-blocked
+/// kernels replaced. They stay compiled in every build and are the ground
+/// truth of the property suite — a lane kernel is only trusted while it
+/// agrees with its reference here.
+pub mod scalar {
+    /// Sequential single-accumulator dot product.
+    #[inline]
+    pub fn dot(a: &[f64], b: &[f64]) -> f64 {
+        debug_assert_eq!(a.len(), b.len(), "scalar dot length mismatch");
+        let mut s = 0.0;
+        for (x, y) in a.iter().zip(b) {
+            s += x * y;
+        }
+        s
+    }
+
+    /// Sequential gathered dot product `sum_i a[i] * x[idx[i]]` — the
+    /// reference for CSR rows and FWT finest-level gathers.
+    #[inline]
+    pub fn gather_dot(a: &[f64], idx: &[u32], x: &[f64]) -> f64 {
+        debug_assert_eq!(a.len(), idx.len(), "scalar gather_dot length mismatch");
+        let mut s = 0.0;
+        for (av, &ci) in a.iter().zip(idx) {
+            s += av * x[ci as usize];
+        }
+        s
+    }
+
+    /// Sequential `y += a * x` — the reference pass of
+    /// [`fused_axpy4`](super::fused_axpy4).
+    #[inline]
+    pub fn axpy(a: f64, x: &[f64], y: &mut [f64]) {
+        debug_assert_eq!(x.len(), y.len(), "scalar axpy length mismatch");
+        for (yi, xi) in y.iter_mut().zip(x) {
+            *yi += a * xi;
+        }
+    }
+
+    /// Sequential scattered `x[idx[i]] += a * c[i]` — the reference pass
+    /// of [`fused_scatter_axpy4`](super::fused_scatter_axpy4).
+    #[inline]
+    pub fn scatter_axpy(a: f64, c: &[f64], idx: &[u32], x: &mut [f64]) {
+        debug_assert_eq!(c.len(), idx.len(), "scalar scatter_axpy length mismatch");
+        for (cv, &ci) in c.iter().zip(idx) {
+            x[ci as usize] += a * cv;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dot_kernels_are_exact_on_integers() {
+        // integer-valued inputs stay exact under any association, so the
+        // lane kernels must match the references to the bit
+        let a: Vec<f64> = (0..23).map(|i| (i % 7) as f64 - 3.0).collect();
+        let b: Vec<f64> = (0..23).map(|i| (i % 5) as f64).collect();
+        assert_eq!(dot4(&a, &b), scalar::dot(&a, &b));
+        assert_eq!(dot8(&a, &b), scalar::dot(&a, &b));
+        let idx: Vec<u32> = (0..23).map(|i| (i * 7 % 23) as u32).collect();
+        assert_eq!(gather_dot4(&a, &idx, &b), scalar::gather_dot(&a, &idx, &b));
+    }
+
+    #[test]
+    fn fused_axpy4_is_bit_identical_to_four_passes() {
+        let cols: Vec<Vec<f64>> =
+            (0..4).map(|k| (0..13).map(|i| ((i * 3 + k) as f64).sin()).collect()).collect();
+        let a = [0.3, -1.7, 0.0, 2.5];
+        let mut y1: Vec<f64> = (0..13).map(|i| (i as f64).cos()).collect();
+        let mut y2 = y1.clone();
+        fused_axpy4(a, &cols[0], &cols[1], &cols[2], &cols[3], &mut y1);
+        for (ak, ck) in a.iter().zip(&cols) {
+            scalar::axpy(*ak, ck, &mut y2);
+        }
+        assert_eq!(y1, y2);
+    }
+
+    #[test]
+    fn fused_scatter_axpy4_is_bit_identical_to_four_passes() {
+        let cols: Vec<Vec<f64>> =
+            (0..4).map(|k| (0..9).map(|i| ((i * 5 + k) as f64).cos()).collect()).collect();
+        let idx: Vec<u32> = [12, 3, 7, 0, 9, 5, 14, 1, 11].into();
+        let a = [1.25, -0.5, 3.0, 0.0];
+        let mut x1: Vec<f64> = (0..16).map(|i| (i as f64) * 0.1).collect();
+        let mut x2 = x1.clone();
+        fused_scatter_axpy4(a, &cols[0], &cols[1], &cols[2], &cols[3], &idx, &mut x1);
+        for (ak, ck) in a.iter().zip(&cols) {
+            scalar::scatter_axpy(*ak, ck, &idx, &mut x2);
+        }
+        assert_eq!(x1, x2);
+    }
+}

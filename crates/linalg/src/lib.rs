@@ -19,6 +19,9 @@
 //!   accumulator.
 //! * [`op`] — the [`CouplingOp`] serving layer: one zero-allocation,
 //!   blocked apply path over every operator representation.
+//! * [`kernels`] — the lane-blocked inner kernels of the serving hot
+//!   loops (fixed-lane accumulator dots, fused column updates) together
+//!   with the scalar references they are property-tested against.
 //! * [`trace`] — zero-dependency observability: RAII spans, atomic
 //!   counters, latency histograms, Chrome-trace export. Off by default;
 //!   the disabled fast path costs one relaxed atomic load.
@@ -39,6 +42,7 @@ pub mod chol;
 pub mod dct;
 pub mod fft;
 pub mod io;
+pub mod kernels;
 pub mod mat;
 pub mod op;
 pub mod qr;

@@ -3,6 +3,8 @@
 use std::fmt;
 use std::ops::{Index, IndexMut};
 
+use crate::kernels;
+
 /// Dense column-major `f64` matrix.
 ///
 /// Column-major storage is chosen because the extraction algorithms
@@ -146,6 +148,13 @@ impl Mat {
     /// Computes `y = A x` into an existing buffer (overwritten), with no
     /// allocation.
     ///
+    /// Accumulation order (shared, entry for entry, by every dense
+    /// product kernel in this module): ascending `k`, fused in aligned
+    /// groups of four columns via [`kernels::fused_axpy4`]
+    /// (crate::kernels::fused_axpy4) — left to right within a group,
+    /// groups whose four multipliers are all zero skipped, zero
+    /// multipliers in the ragged tail skipped.
+    ///
     /// # Panics
     ///
     /// Panics if `x.len() != n_cols` or `y.len() != n_rows`.
@@ -153,10 +162,50 @@ impl Mat {
         assert_eq!(x.len(), self.n_cols, "matvec dimension mismatch");
         assert_eq!(y.len(), self.n_rows, "matvec output length mismatch");
         y.fill(0.0);
-        for (j, &xj) in x.iter().enumerate() {
-            if xj != 0.0 {
-                axpy(xj, self.col(j), y);
+        self.accumulate_cols(x, 0, self.n_cols, 0, self.n_rows, y);
+    }
+
+    /// `y += sum_{k in [k0, k1)} coeff[k] * A[i0..i1, k]`, columns fused
+    /// in groups of four — the one accumulation kernel behind
+    /// [`matvec_into`](Self::matvec_into), [`matmul_into`](Self::matmul_into)
+    /// and [`matmul_rows_into`](Self::matmul_rows_into), which is what
+    /// makes those three bit-identical per output entry.
+    ///
+    /// Groups are aligned to `k0`; callers must pass `k0` a multiple of 4
+    /// (or the whole range at once) so the grouping pattern matches the
+    /// single-sweep call.
+    #[inline]
+    fn accumulate_cols(
+        &self,
+        coeff: &[f64],
+        k0: usize,
+        k1: usize,
+        i0: usize,
+        i1: usize,
+        y: &mut [f64],
+    ) {
+        debug_assert_eq!(k0 % 4, 0, "column groups must stay aligned across k-panels");
+        let mut k = k0;
+        while k + 4 <= k1 {
+            let a = [coeff[k], coeff[k + 1], coeff[k + 2], coeff[k + 3]];
+            if a[0] != 0.0 || a[1] != 0.0 || a[2] != 0.0 || a[3] != 0.0 {
+                kernels::fused_axpy4(
+                    a,
+                    &self.col(k)[i0..i1],
+                    &self.col(k + 1)[i0..i1],
+                    &self.col(k + 2)[i0..i1],
+                    &self.col(k + 3)[i0..i1],
+                    y,
+                );
             }
+            k += 4;
+        }
+        while k < k1 {
+            let ak = coeff[k];
+            if ak != 0.0 {
+                axpy(ak, &self.col(k)[i0..i1], y);
+            }
+            k += 1;
         }
     }
 
@@ -232,32 +281,36 @@ impl Mat {
     pub fn matmul_into(&self, b: &Mat, c: &mut Mat) {
         assert_eq!(self.n_cols, b.n_rows, "matmul dimension mismatch");
         c.resize(self.n_rows, b.n_cols);
-        // ~256 KiB of A-panel per block (f64), at least 8 columns
-        let kb = (32 * 1024 / self.n_rows.max(1)).max(8).min(self.n_cols.max(1));
+        let kb = self.k_panel();
         for cj in c.cols_mut() {
             cj.fill(0.0);
         }
         for k0 in (0..self.n_cols).step_by(kb) {
             let k1 = (k0 + kb).min(self.n_cols);
             for j in 0..b.n_cols {
-                let bj = b.col(j);
-                let cj = c.col_mut(j);
-                for k in k0..k1 {
-                    let bkj = bj[k];
-                    if bkj != 0.0 {
-                        axpy(bkj, self.col(k), cj);
-                    }
-                }
+                self.accumulate_cols(b.col(j), k0, k1, 0, self.n_rows, c.col_mut(j));
             }
         }
+    }
+
+    /// The inner-dimension panel width shared by [`matmul_into`]
+    /// (Self::matmul_into) and [`matmul_rows_into`](Self::matmul_rows_into):
+    /// ~256 KiB of A-panel per block (f64), at least 8 columns, and — so
+    /// the fused groups of four of [`accumulate_cols`]
+    /// (Self::accumulate_cols) stay aligned across panel boundaries — a
+    /// multiple of 4 whenever more than one panel is needed.
+    #[inline]
+    fn k_panel(&self) -> usize {
+        let kb = ((32 * 1024 / self.n_rows.max(1)).max(8)) & !3;
+        kb.min(self.n_cols.max(1))
     }
 
     /// Rows `[i0, i1)` of the product `A * B`, into `c` (resized to
     /// `(i1 - i0) x b.n_cols()`).
     ///
     /// Each output entry accumulates its `k` terms in exactly the order
-    /// [`matmul_into`](Self::matmul_into) uses (ascending `k`, zero
-    /// multipliers skipped), so a row-sharded product reassembled from
+    /// [`matmul_into`](Self::matmul_into) uses (ascending `k`, fused in
+    /// aligned groups of four), so a row-sharded product reassembled from
     /// disjoint ranges is **bit-identical** to the full product — the
     /// contract the parallel serving executor relies on when it splits a
     /// narrow block across workers by rows instead of columns.
@@ -274,18 +327,11 @@ impl Mat {
         }
         // same k-panel size as the full kernel; blocking affects only the
         // (k, j) traversal order, never an entry's own accumulation order
-        let kb = (32 * 1024 / self.n_rows.max(1)).max(8).min(self.n_cols.max(1));
+        let kb = self.k_panel();
         for k0 in (0..self.n_cols).step_by(kb) {
             let k1 = (k0 + kb).min(self.n_cols);
             for j in 0..b.n_cols() {
-                let bj = b.col(j);
-                let cj = c.col_mut(j);
-                for k in k0..k1 {
-                    let bkj = bj[k];
-                    if bkj != 0.0 {
-                        axpy(bkj, &self.col(k)[i0..i1], cj);
-                    }
-                }
+                self.accumulate_cols(b.col(j), k0, k1, i0, i1, c.col_mut(j));
             }
         }
     }
@@ -474,7 +520,10 @@ impl fmt::Debug for Mat {
     }
 }
 
-/// Dot product of two equal-length slices.
+/// Dot product of two equal-length slices, computed with the fixed
+/// eight-partial summation order of [`kernels::dot8`] (eight independent
+/// accumulator chains instead of one latency-bound chain; identical bits
+/// for identical inputs everywhere it is used).
 ///
 /// # Panics
 ///
@@ -482,11 +531,7 @@ impl fmt::Debug for Mat {
 #[inline]
 pub fn dot(x: &[f64], y: &[f64]) -> f64 {
     assert_eq!(x.len(), y.len(), "dot length mismatch");
-    let mut s = 0.0;
-    for i in 0..x.len() {
-        s += x[i] * y[i];
-    }
-    s
+    kernels::dot8(x, y)
 }
 
 /// Euclidean norm of a slice.

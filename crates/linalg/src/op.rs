@@ -119,6 +119,15 @@ impl ApplyWorkspace {
     pub fn mats3(&mut self) -> (&mut Mat, &mut Mat, &mut Mat) {
         (&mut self.a, &mut self.b, &mut self.c)
     }
+
+    /// Read-only views of the three scratch matrices. This is how the
+    /// row-sharded synthesis phase reads the coefficients that
+    /// [`CouplingOp::prepare_rows`] left in a shared workspace: many
+    /// workers borrow the prepared workspace immutably while each writes
+    /// through its own private one.
+    pub fn mats_ref(&self) -> (&Mat, &Mat, &Mat) {
+        (&self.a, &self.b, &self.c)
+    }
 }
 
 /// A served coupling operator: anything that can play `x ↦ G x` for a
@@ -178,16 +187,26 @@ pub trait CouplingOp {
     /// range *without redoing the dominant work per range*.
     ///
     /// True for the flat representations (dense, CSR), where every output
-    /// row is computed independently from its own stored values. The
-    /// structured pipelines decline: `BasisRep` and the fast wavelet
-    /// transform would re-run the full analysis half (`Q' x`, the
-    /// dominant stage) for every range, and `LowRankOp` would recompute
-    /// the rank-space product `s ∘ (V' x)` per range — row sharding would
-    /// then cost more total work than it parallelizes, so for those the
-    /// executor sticks to column sharding.
+    /// row is computed independently from its own stored values, and for
+    /// the structured pipelines (`BasisRep`, `LowRankOp`) via the
+    /// two-phase protocol: [`prepare_rows`](Self::prepare_rows) computes
+    /// the shared analysis half (`Gw (Q' X)`, `s ∘ (V' X)`) **once** into
+    /// a cooperative workspace, and only the synthesis half (`Q ·`,
+    /// `U ·`) — whose output rows are independent — is row-sharded.
     fn supports_row_shard(&self) -> bool {
         false
     }
+
+    /// Cooperative phase of a two-phase row-sharded apply: computes
+    /// whatever shared intermediate the synthesis phase needs (for the
+    /// structured representations, the dominant analysis half of the
+    /// pipeline) into `prep`, exactly once per apply.
+    ///
+    /// The executor calls this on one thread before sharding, then hands
+    /// every worker the same `prep` read-only alongside the worker's own
+    /// private workspace. Flat representations (dense, CSR), whose rows
+    /// need no shared intermediate, keep the default no-op.
+    fn prepare_rows(&self, _x: &Mat, _prep: &mut ApplyWorkspace) {}
 
     /// Computes rows `[i0, i1)` of `Y = G X` into `y_rows` (resized to
     /// `(i1 - i0) x x.n_cols()`), with every entry accumulated in exactly
@@ -195,11 +214,15 @@ pub trait CouplingOp {
     /// uses — so disjoint ranges reassemble bit-identically to one serial
     /// apply.
     ///
-    /// Only callable when [`supports_row_shard`](Self::supports_row_shard)
-    /// returns true; the default implementation panics.
+    /// `prep` is the workspace [`prepare_rows`](Self::prepare_rows)
+    /// filled for this exact `x` (shared by every range of the apply);
+    /// `ws` is the caller's private scratch. Only callable when
+    /// [`supports_row_shard`](Self::supports_row_shard) returns true; the
+    /// default implementation panics.
     fn apply_rows_into(
         &self,
         _x: &Mat,
+        _prep: &ApplyWorkspace,
         _i0: usize,
         _i1: usize,
         _y_rows: &mut Mat,
@@ -256,6 +279,7 @@ impl CouplingOp for Mat {
     fn apply_rows_into(
         &self,
         x: &Mat,
+        _prep: &ApplyWorkspace,
         i0: usize,
         i1: usize,
         y_rows: &mut Mat,
@@ -296,6 +320,7 @@ impl CouplingOp for Csr {
     fn apply_rows_into(
         &self,
         x: &Mat,
+        _prep: &ApplyWorkspace,
         i0: usize,
         i1: usize,
         y_rows: &mut Mat,
@@ -343,8 +368,16 @@ impl WorkerSlot {
     /// panel (published into the interleaved output by the caller after
     /// the parallel scope ends — row ranges of a column-major matrix are
     /// not contiguous, so workers cannot own disjoint slices of it).
-    fn run_row_shard<O: CouplingOp + ?Sized>(&mut self, op: &O, x: &Mat, i0: usize, i1: usize) {
-        op.apply_rows_into(x, i0, i1, &mut self.y, &mut self.ws);
+    /// `prep` is the executor's shared prepared workspace, read-only.
+    fn run_row_shard<O: CouplingOp + ?Sized>(
+        &mut self,
+        op: &O,
+        x: &Mat,
+        prep: &ApplyWorkspace,
+        i0: usize,
+        i1: usize,
+    ) {
+        op.apply_rows_into(x, prep, i0, i1, &mut self.y, &mut self.ws);
     }
 }
 
@@ -391,6 +424,12 @@ pub struct ParallelApply {
     /// consults cgroup files on Linux and std advises caching it, so the
     /// auto mode must not re-query it on the per-apply hot path.
     resolved: usize,
+    /// Fewest stored-value traversals (`nnz x block / workers`) worth a
+    /// worker of its own; see [`with_min_work`](Self::with_min_work).
+    min_work: usize,
+    /// The cooperative workspace [`CouplingOp::prepare_rows`] fills once
+    /// per row-sharded apply and every worker reads.
+    prep: ApplyWorkspace,
     slots: Vec<WorkerSlot>,
 }
 
@@ -398,13 +437,40 @@ pub struct ParallelApply {
 /// scoped-thread launch costs more than the row shard it would compute.
 const MIN_ROWS_PER_SHARD: usize = 16;
 
+/// Default of [`ParallelApply::with_min_work`]: stored-value traversals
+/// (`nnz x block`) each worker must be fed before the executor spawns it.
+/// A scoped-thread launch costs tens of microseconds; 128k multiply-adds
+/// per worker keeps that under ~10% of the shard it pays for. Small
+/// panels — the dense n=256, block=1 regression this knob was added for —
+/// fall back to the inline serial path instead of a degraded spawn.
+pub const DEFAULT_MIN_WORK_PER_WORKER: usize = 128 * 1024;
+
 impl ParallelApply {
     /// Creates an executor with the given worker count (`0` = one per
     /// available CPU — the `BatchOptions` convention, resolved once
-    /// here). Worker scratch is grown lazily on first use; see
-    /// [`warm`](Self::warm).
+    /// here) and the default min-work-per-worker threshold
+    /// ([`DEFAULT_MIN_WORK_PER_WORKER`]). Worker scratch is grown lazily
+    /// on first use; see [`warm`](Self::warm).
     pub fn new(threads: usize) -> Self {
-        ParallelApply { threads, resolved: resolve_threads(threads), slots: Vec::new() }
+        ParallelApply {
+            threads,
+            resolved: resolve_threads(threads),
+            min_work: DEFAULT_MIN_WORK_PER_WORKER,
+            prep: ApplyWorkspace::new(),
+            slots: Vec::new(),
+        }
+    }
+
+    /// Sets the min-work-per-worker threshold: an apply engages at most
+    /// `nnz(op) x block / min_work` workers, so no worker is spawned for
+    /// less than `min_work` stored-value traversals, and sub-threshold
+    /// applies serve inline (serial kernel, no spawn at all). `0` disables
+    /// the threshold — every apply uses as many workers as the sharding
+    /// axes allow, which the bit-identity contract tests rely on to force
+    /// the threaded paths on arbitrarily small fixtures.
+    pub fn with_min_work(mut self, min_work: usize) -> Self {
+        self.min_work = min_work;
+        self
     }
 
     /// The requested worker-thread knob (possibly `0` = auto).
@@ -418,6 +484,23 @@ impl ParallelApply {
         self.resolved
     }
 
+    /// The min-work-per-worker threshold (see
+    /// [`with_min_work`](Self::with_min_work)).
+    pub fn min_work(&self) -> usize {
+        self.min_work
+    }
+
+    /// Workers the threshold allows for an apply of `block` columns over
+    /// `nnz` stored values: each spawned worker must be fed at least
+    /// [`min_work`](Self::min_work) traversals.
+    fn work_capped(&self, nnz: usize, block: usize) -> usize {
+        match nnz.saturating_mul(block).checked_div(self.min_work) {
+            // min_work == 0 disables the threshold entirely
+            None => self.resolved,
+            Some(fed) => self.resolved.min(fed.max(1)),
+        }
+    }
+
     /// How many workers an apply of `block` columns through `op` would
     /// actually engage — the dispatch rule of
     /// [`apply_block_into`](Self::apply_block_into) without running it.
@@ -429,7 +512,7 @@ impl ParallelApply {
         if n == 0 || block == 0 {
             return 1;
         }
-        let t = self.resolved;
+        let t = self.work_capped(op.nnz(), block);
         let row_shards = if op.supports_row_shard() { n / MIN_ROWS_PER_SHARD } else { 0 };
         if t > block && row_shards > block {
             let workers = t.min(row_shards);
@@ -484,7 +567,7 @@ impl ParallelApply {
         if n == 0 || b == 0 {
             return;
         }
-        let t = self.resolved_threads();
+        let t = self.work_capped(op.nnz(), b);
         let row_shards = if op.supports_row_shard() { n / MIN_ROWS_PER_SHARD } else { 0 };
         if t > b && row_shards > b {
             // narrow block, shardable rows: row ranges feed more workers
@@ -497,13 +580,20 @@ impl ParallelApply {
             let shards = n.div_ceil(h);
             trace::add(trace::Counter::RowShards, shards as u64);
             self.ensure_slots(shards);
+            {
+                // cooperative phase: the shared analysis half, once, on
+                // this thread; flat representations no-op here
+                let _p = trace::span("pool.prepare_rows");
+                op.prepare_rows(x, &mut self.prep);
+            }
+            let prep = &self.prep;
             std::thread::scope(|scope| {
                 for (k, slot) in self.slots[..shards].iter_mut().enumerate() {
                     let (i0, i1) = (k * h, ((k + 1) * h).min(n));
                     scope.spawn(move || {
                         let _w =
                             trace::span_track("worker.row_shard", trace::worker_track(k), k as u64);
-                        slot.run_row_shard(op, x, i0, i1)
+                        slot.run_row_shard(op, x, prep, i0, i1)
                     });
                 }
             });
@@ -622,14 +712,39 @@ impl CouplingOp for LowRankOp {
     fn apply_block_into(&self, x: &Mat, y: &mut Mat, ws: &mut ApplyWorkspace) {
         let _s = trace::span("apply_block.lowrank");
         let _h = trace::time_hist(trace::Hist::ApplyBlockNs);
-        let (t, _) = ws.mats();
+        self.prepare_rows(x, ws);
+        let (t, _, _) = ws.mats_ref();
+        self.u.matmul_into(t, y);
+    }
+
+    fn supports_row_shard(&self) -> bool {
+        true
+    }
+
+    /// The cooperative phase: the rank-space coefficients
+    /// `T = s ∘ (V' X)`, computed once into the shared workspace. The
+    /// synthesis `U T` is what gets row-sharded.
+    fn prepare_rows(&self, x: &Mat, prep: &mut ApplyWorkspace) {
+        let (t, _) = prep.mats();
         self.v.matmul_tn_into(x, t);
         for tj in t.cols_mut() {
             for (ti, si) in tj.iter_mut().zip(&self.s) {
                 *ti *= si;
             }
         }
-        self.u.matmul_into(t, y);
+    }
+
+    fn apply_rows_into(
+        &self,
+        _x: &Mat,
+        prep: &ApplyWorkspace,
+        i0: usize,
+        i1: usize,
+        y_rows: &mut Mat,
+        _ws: &mut ApplyWorkspace,
+    ) {
+        let (t, _, _) = prep.mats_ref();
+        self.u.matmul_rows_into(t, i0, i1, y_rows);
     }
 }
 
@@ -685,10 +800,15 @@ mod tests {
         let n = 67;
         let g = Mat::from_fn(n, n, |i, j| ((i * 31 + j * 7) % 23) as f64 / 23.0 - 0.4);
         let sparse = Csr::from_dense(&g, 0.6);
-        let mut pool = ParallelApply::new(3);
+        let f = svd(&g);
+        let lr = LowRankOp::from_svd(&f, 2);
+        // min_work 0: force the threaded paths on fixtures far below the
+        // default inline-serve threshold
+        let mut pool = ParallelApply::new(3).with_min_work(0);
         assert_eq!(pool.threads(), 3);
         assert!(pool.resolved_threads() >= 1);
-        let ops: [&(dyn CouplingOp + Sync); 2] = [&g, &sparse];
+        assert_eq!(pool.min_work(), 0);
+        let ops: [&(dyn CouplingOp + Sync); 3] = [&g, &sparse, &lr];
         for op in ops {
             // wide block -> column shards; 1-column block -> row shards
             // (both impls support them); widths that straddle shard
@@ -705,20 +825,18 @@ mod tests {
         // more workers than rows and columns still agrees
         let tiny = Mat::from_fn(3, 3, |i, j| (i + j) as f64);
         let x = Mat::from_fn(3, 2, |i, j| (i * 2 + j) as f64);
-        let mut wide_pool = ParallelApply::new(16);
+        let mut wide_pool = ParallelApply::new(16).with_min_work(0);
         assert_eq!(wide_pool.apply_block(&tiny, &x).col(0), tiny.apply_block(&x).col(0));
         // planned_workers mirrors the dispatch rule: rows feed 3 workers
         // on a 1-column block, columns cap the wide block at 3
         assert_eq!(pool.planned_workers(&g, 1), 3);
         assert_eq!(pool.planned_workers(&g, 7), 3);
         assert_eq!(pool.planned_workers(&sparse, 2), 3); // row path: 4 shards capped at 3
-                                                         // a non-row-shardable op degrades to serial on a 1-column block
-        let f = svd(&g);
-        let lr = LowRankOp::from_svd(&f, 2);
-        assert_eq!(pool.planned_workers(&lr, 1), 1);
+                                                         // the structured rep row-shards its synthesis phase too
+        assert_eq!(pool.planned_workers(&lr, 1), 3);
         assert_eq!(pool.planned_workers(&lr, 6), 3);
         // auto thread count (0) resolves and serves
-        let mut auto_pool = ParallelApply::new(0);
+        let mut auto_pool = ParallelApply::new(0).with_min_work(0);
         assert!(auto_pool.resolved_threads() >= 1);
         auto_pool.warm(&g, 4);
         let x = Mat::from_fn(n, 4, |i, j| (i + j) as f64);
@@ -740,7 +858,7 @@ mod tests {
             }
         });
         let sparse = Csr::from_dense(&g, 0.01);
-        let mut pool = ParallelApply::new(19);
+        let mut pool = ParallelApply::new(19).with_min_work(0);
         for b in [1usize, 2] {
             let x = Mat::from_fn(n, b, |i, j| ((i * 3 + j) % 11) as f64 - 5.0);
             let ops: [&(dyn CouplingOp + Sync); 2] = [&g, &sparse];
@@ -760,7 +878,26 @@ mod tests {
         let lr = LowRankOp::from_svd(&f, 2);
         assert!(CouplingOp::supports_row_shard(&g));
         assert!(CouplingOp::supports_row_shard(&s));
-        assert!(!lr.supports_row_shard());
+        assert!(lr.supports_row_shard());
+    }
+
+    #[test]
+    fn min_work_threshold_serves_small_applies_inline() {
+        // n=64 dense, block 1: 4096 traversals, far below the 128k
+        // default — the executor must plan a single (inline) worker and
+        // still produce the serial bits
+        let n = 64;
+        let g = Mat::from_fn(n, n, |i, j| ((i * 5 + j * 3) % 13) as f64 - 6.0);
+        let mut pool = ParallelApply::new(4);
+        assert_eq!(pool.min_work(), DEFAULT_MIN_WORK_PER_WORKER);
+        assert_eq!(pool.planned_workers(&g, 1), 1);
+        // the same pool with the threshold disabled engages the row axis
+        assert!(ParallelApply::new(4).with_min_work(0).planned_workers(&g, 1) > 1);
+        // enough columns to clear the threshold re-engages workers:
+        // 4096 * 64 = 256k traversals feeds two
+        assert_eq!(pool.planned_workers(&g, 64), 2);
+        let x = Mat::from_fn(n, 1, |i, _| (i as f64).sin());
+        assert_eq!(pool.apply_block(&g, &x).data(), g.apply_block(&x).data());
     }
 
     #[test]

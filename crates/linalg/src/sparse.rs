@@ -7,6 +7,7 @@
 
 use std::collections::HashMap;
 
+use crate::kernels;
 use crate::mat::Mat;
 
 /// Right-hand-side columns processed per panel by the blocked CSR × dense
@@ -170,6 +171,15 @@ impl Csr {
     /// Computes `y = A x` into an existing buffer (overwritten), with no
     /// allocation.
     ///
+    /// Each output row is one [`kernels::gather_dot4`] over the row's
+    /// stored entries — four independent accumulator chains with the
+    /// fixed `(s0+s1)+(s2+s3)+tail` combination order, shared (entry for
+    /// entry) by every CSR product kernel in this type, which is what
+    /// keeps blocked and row-sharded applies bit-identical to this one.
+    /// (A single sequential accumulator was the serving bottleneck at
+    /// typical 50–100-nonzero rows: every multiply-add waited on the
+    /// previous one.)
+    ///
     /// # Panics
     ///
     /// Panics on dimension mismatch.
@@ -182,13 +192,7 @@ impl Csr {
         // double lookup through `row`)
         let mut start = self.indptr[0];
         for (yi, &end) in y.iter_mut().zip(&self.indptr[1..]) {
-            let cols = &self.indices[start..end];
-            let vals = &self.data[start..end];
-            let mut acc = 0.0;
-            for (c, v) in cols.iter().zip(vals) {
-                acc += v * x[*c as usize];
-            }
-            *yi = acc;
+            *yi = kernels::gather_dot4(&self.data[start..end], &self.indices[start..end], x);
             start = end;
         }
     }
@@ -260,15 +264,8 @@ impl Csr {
             for (i, &end) in (0..self.n_rows).zip(&self.indptr[1..]) {
                 let cols = &self.indices[start..end];
                 let vals = &self.data[start..end];
-                let mut acc = [0.0f64; CSR_COL_BLOCK];
-                for (c, v) in cols.iter().zip(vals) {
-                    let c = *c as usize;
-                    for (a, s) in acc[..jw].iter_mut().zip(&xc) {
-                        *a += v * s[c];
-                    }
-                }
-                for (jj, a) in acc[..jw].iter().enumerate() {
-                    y[(i, j0 + jj)] = *a;
+                for (jj, s) in xc[..jw].iter().enumerate() {
+                    y[(i, j0 + jj)] = kernels::gather_dot4(vals, cols, s);
                 }
                 start = end;
             }
@@ -307,15 +304,8 @@ impl Csr {
             for (i, &end) in (i0..i1).zip(&self.indptr[i0 + 1..]) {
                 let cols = &self.indices[start..end];
                 let vals = &self.data[start..end];
-                let mut acc = [0.0f64; CSR_COL_BLOCK];
-                for (c, v) in cols.iter().zip(vals) {
-                    let c = *c as usize;
-                    for (a, s) in acc[..jw].iter_mut().zip(&xc) {
-                        *a += v * s[c];
-                    }
-                }
-                for (jj, a) in acc[..jw].iter().enumerate() {
-                    y[(i - i0, j0 + jj)] = *a;
+                for (jj, s) in xc[..jw].iter().enumerate() {
+                    y[(i - i0, j0 + jj)] = kernels::gather_dot4(vals, cols, s);
                 }
                 start = end;
             }

@@ -1,0 +1,270 @@
+//! Property suite for the lane-blocked serving kernels: every kernel in
+//! `subsparse_linalg::kernels` is pinned against its retained scalar
+//! reference on random shapes — lengths that are multiples of the lane
+//! width and ragged remainders (`len % 8 != 0`, `len % 4 != 0`), block
+//! widths 1/3/8/11, and inputs with exact zeros (the dense kernels skip
+//! zero multipliers).
+//!
+//! Two kinds of agreement, per each kernel's documented contract:
+//!
+//! * **bit-equality** where the contract promises it — the fused column
+//!   updates are defined to be bit-identical to sequential scalar passes,
+//!   and the documented lane summation orders are re-derived here
+//!   independently and must match to the bit;
+//! * **`<= 1e-12` relative error** against the sequential scalar
+//!   references, where only the reassociation differs.
+//!
+//! The higher-level composites (dense matvec/matmul, CSR applies) are
+//! then checked against naive scalar reference implementations written
+//! out here, so a regression in the wiring — not just in a kernel — also
+//! fails this suite.
+
+use subsparse_linalg::kernels::{
+    self, dot4, dot8, fused_axpy4, fused_scatter_axpy4, gather_dot4, scalar,
+};
+use subsparse_linalg::rng::SmallRng;
+use subsparse_linalg::{Mat, Triplets};
+
+/// Random vector with a sprinkling of exact zeros.
+fn random_vec(rng: &mut SmallRng, len: usize) -> Vec<f64> {
+    (0..len).map(|_| if rng.gen_bool(0.1) { 0.0 } else { rng.range_f64(-2.0, 2.0) }).collect()
+}
+
+fn assert_close(a: f64, b: f64, label: &str) {
+    let tol = 1e-12 * b.abs().max(1.0);
+    assert!((a - b).abs() <= tol, "{label}: {a} vs {b}");
+}
+
+/// The documented `dot4` order, written out independently: lane `l`
+/// takes element `l` of each aligned chunk of 4, the remainder sums
+/// sequentially, combined `(s0+s1) + (s2+s3) + tail`.
+fn dot4_reference(a: &[f64], b: &[f64]) -> f64 {
+    let len4 = a.len() & !3;
+    let mut s = [0.0f64; 4];
+    for i in (0..len4).step_by(4) {
+        for l in 0..4 {
+            s[l] += a[i + l] * b[i + l];
+        }
+    }
+    let mut tail = 0.0;
+    for i in len4..a.len() {
+        tail += a[i] * b[i];
+    }
+    (s[0] + s[1]) + (s[2] + s[3]) + tail
+}
+
+/// The documented `dot8` order: eight lanes over aligned chunks of 8,
+/// combined `((s0+s1)+(s2+s3)) + ((s4+s5)+(s6+s7)) + tail`.
+fn dot8_reference(a: &[f64], b: &[f64]) -> f64 {
+    let len8 = a.len() & !7;
+    let mut s = [0.0f64; 8];
+    for i in (0..len8).step_by(8) {
+        for l in 0..8 {
+            s[l] += a[i + l] * b[i + l];
+        }
+    }
+    let mut tail = 0.0;
+    for i in len8..a.len() {
+        tail += a[i] * b[i];
+    }
+    ((s[0] + s[1]) + (s[2] + s[3])) + ((s[4] + s[5]) + (s[6] + s[7])) + tail
+}
+
+/// Lengths covering empty, sub-lane, aligned, and ragged tails for both
+/// lane widths.
+const LENGTHS: [usize; 12] = [0, 1, 2, 3, 4, 5, 7, 8, 11, 16, 67, 128];
+
+#[test]
+fn dot_kernels_match_their_documented_order_bitwise() {
+    let mut rng = SmallRng::seed_from_u64(0xD07);
+    for &len in &LENGTHS {
+        for rep in 0..8 {
+            let a = random_vec(&mut rng, len);
+            let b = random_vec(&mut rng, len);
+            let label = format!("len={len} rep={rep}");
+            // the order contract is bit-exact…
+            assert_eq!(dot4(&a, &b), dot4_reference(&a, &b), "dot4 order: {label}");
+            assert_eq!(dot8(&a, &b), dot8_reference(&a, &b), "dot8 order: {label}");
+            // …and the value agrees with the sequential reference
+            assert_close(dot4(&a, &b), scalar::dot(&a, &b), &format!("dot4 value: {label}"));
+            assert_close(dot8(&a, &b), scalar::dot(&a, &b), &format!("dot8 value: {label}"));
+        }
+    }
+}
+
+#[test]
+fn gather_dot_matches_dense_dot_through_a_permutation() {
+    let mut rng = SmallRng::seed_from_u64(0x6A7);
+    for &len in &LENGTHS {
+        for rep in 0..8 {
+            let a = random_vec(&mut rng, len);
+            let x = random_vec(&mut rng, len.max(1) * 2);
+            // random (possibly repeating) gather indices into x
+            let idx: Vec<u32> =
+                (0..len).map(|_| (rng.next_u64() % x.len() as u64) as u32).collect();
+            let gathered: Vec<f64> = idx.iter().map(|&ci| x[ci as usize]).collect();
+            let label = format!("len={len} rep={rep}");
+            // gathering then dotting must equal the contiguous dot4 on
+            // the gathered values, to the bit — same kernel, same order
+            assert_eq!(
+                gather_dot4(&a, &idx, &x),
+                dot4(&a, &gathered),
+                "gather_dot4 vs dot4: {label}"
+            );
+            assert_close(
+                gather_dot4(&a, &idx, &x),
+                scalar::gather_dot(&a, &idx, &x),
+                &format!("gather_dot4 value: {label}"),
+            );
+        }
+    }
+}
+
+#[test]
+fn fused_updates_are_bit_identical_to_sequential_passes() {
+    let mut rng = SmallRng::seed_from_u64(0xF03D);
+    for &len in &LENGTHS {
+        for rep in 0..8 {
+            let cols: Vec<Vec<f64>> = (0..4).map(|_| random_vec(&mut rng, len)).collect();
+            // include exact-zero multipliers: the dense kernels rely on
+            // zero-skip never changing the bits
+            let a = [
+                rng.range_f64(-2.0, 2.0),
+                if rep % 3 == 0 { 0.0 } else { rng.range_f64(-2.0, 2.0) },
+                rng.range_f64(-2.0, 2.0),
+                rng.range_f64(-2.0, 2.0),
+            ];
+            let y0 = random_vec(&mut rng, len);
+            let label = format!("len={len} rep={rep}");
+
+            let mut fused = y0.clone();
+            fused_axpy4(a, &cols[0], &cols[1], &cols[2], &cols[3], &mut fused);
+            let mut seq = y0.clone();
+            for (ak, ck) in a.iter().zip(&cols) {
+                scalar::axpy(*ak, ck, &mut seq);
+            }
+            assert_eq!(fused, seq, "fused_axpy4: {label}");
+
+            // scatter variant through a random permutation of a larger x
+            let xlen = len * 2 + 3;
+            let mut perm: Vec<u32> = (0..xlen as u32).collect();
+            for i in (1..perm.len()).rev() {
+                perm.swap(i, (rng.next_u64() % (i as u64 + 1)) as usize);
+            }
+            let idx = &perm[..len];
+            let x0 = random_vec(&mut rng, xlen);
+            let mut fused_x = x0.clone();
+            fused_scatter_axpy4(a, &cols[0], &cols[1], &cols[2], &cols[3], idx, &mut fused_x);
+            let mut seq_x = x0;
+            for (ak, ck) in a.iter().zip(&cols) {
+                scalar::scatter_axpy(*ak, ck, idx, &mut seq_x);
+            }
+            assert_eq!(fused_x, seq_x, "fused_scatter_axpy4: {label}");
+        }
+    }
+}
+
+#[test]
+fn lane_constants_describe_the_kernels() {
+    assert_eq!(kernels::LANES_4, 4);
+    assert_eq!(kernels::LANES_8, 8);
+}
+
+/// Naive scalar `y = G x` — the ground-truth for the dense composite.
+fn naive_matvec(g: &Mat, x: &[f64]) -> Vec<f64> {
+    (0..g.n_rows()).map(|i| (0..g.n_cols()).map(|k| g[(i, k)] * x[k]).sum()).collect()
+}
+
+#[test]
+fn dense_matvec_and_matmul_agree_with_scalar_reference() {
+    let mut rng = SmallRng::seed_from_u64(0xDE45E);
+    // sizes straddling the lane width and the k-panel width
+    for &n in &[1usize, 3, 5, 8, 13, 33, 67] {
+        let g = Mat::from_fn(
+            n,
+            n,
+            |_, _| {
+                if rng.gen_bool(0.15) {
+                    0.0
+                } else {
+                    rng.range_f64(-1.5, 1.5)
+                }
+            },
+        );
+        for &b in &[1usize, 3, 8, 11] {
+            let x =
+                Mat::from_fn(
+                    n,
+                    b,
+                    |_, _| {
+                        if rng.gen_bool(0.15) {
+                            0.0
+                        } else {
+                            rng.range_f64(-2.0, 2.0)
+                        }
+                    },
+                );
+            let mut y = Mat::zeros(0, 0);
+            g.matmul_into(&x, &mut y);
+            for j in 0..b {
+                // value: <= 1e-12 relative against the naive reference
+                let reference = naive_matvec(&g, x.col(j));
+                for (i, r) in reference.iter().enumerate() {
+                    assert_close(y[(i, j)], *r, &format!("matmul n={n} b={b} ({i},{j})"));
+                }
+                // contract: blocked == per-vector, to the bit
+                let mut yv = vec![0.0; n];
+                g.matvec_into(x.col(j), &mut yv);
+                assert_eq!(y.col(j), yv.as_slice(), "matmul vs matvec n={n} b={b} col {j}");
+            }
+            // contract: row ranges carry the full product's bits
+            let mut rows = Mat::zeros(0, 0);
+            let (i0, i1) = (n / 3, n);
+            g.matmul_rows_into(&x, i0, i1, &mut rows);
+            for j in 0..b {
+                assert_eq!(rows.col(j), &y.col(j)[i0..i1], "matmul_rows n={n} b={b} col {j}");
+            }
+        }
+    }
+}
+
+#[test]
+fn csr_applies_agree_with_scalar_reference() {
+    let mut rng = SmallRng::seed_from_u64(0xC52);
+    for &n in &[1usize, 5, 13, 41, 67] {
+        let mut t = Triplets::new(n, n);
+        for i in 0..n {
+            for j in 0..n {
+                if rng.gen_bool(0.25) {
+                    t.push(i, j, rng.range_f64(-3.0, 3.0));
+                }
+            }
+        }
+        let a = t.to_csr();
+        for &b in &[1usize, 3, 8, 11] {
+            let x = Mat::from_fn(n, b, |_, _| rng.range_f64(-2.0, 2.0));
+            let mut y = Mat::zeros(0, 0);
+            a.matmul_dense_into(&x, &mut y);
+            for j in 0..b {
+                // value: each row is a gathered dot; check against the
+                // sequential scalar gather reference
+                for i in 0..n {
+                    let (idx, vals) = a.row(i);
+                    let reference = scalar::gather_dot(vals, idx, x.col(j));
+                    assert_close(y[(i, j)], reference, &format!("csr n={n} b={b} ({i},{j})"));
+                }
+                // contract: blocked == per-vector, to the bit
+                let mut yv = vec![0.0; n];
+                a.matvec_into(x.col(j), &mut yv);
+                assert_eq!(y.col(j), yv.as_slice(), "csr matmul vs matvec n={n} b={b} col {j}");
+            }
+            // contract: row ranges carry the full product's bits
+            let mut rows = Mat::zeros(0, 0);
+            let (i0, i1) = (n / 4, n.div_ceil(2));
+            a.matmul_dense_rows_into(&x, i0, i1, &mut rows);
+            for j in 0..b {
+                assert_eq!(rows.col(j), &y.col(j)[i0..i1], "csr rows n={n} b={b} col {j}");
+            }
+        }
+    }
+}

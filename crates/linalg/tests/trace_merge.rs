@@ -62,7 +62,9 @@ fn worker_written_state_merges_losslessly_and_deterministically() {
     for &threads in &[1usize, 2, 0, 8 + 7] {
         for &b in &[8usize, 2] {
             let x = Mat::from_fn(n, b, |i, j| ((i * 3 + j) as f64).sin());
-            let mut pool = ParallelApply::new(threads);
+            // min_work 0: the fixture is far below the default inline
+            // threshold, and this test is about the threaded recorders
+            let mut pool = ParallelApply::new(threads).with_min_work(0);
             pool.warm(&g, b);
             let e = expect(&pool, &g, b);
             let mut observed = Vec::new();
