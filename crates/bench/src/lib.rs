@@ -22,6 +22,7 @@ pub mod batch;
 pub mod examples;
 pub mod figures;
 pub mod method_matrix;
+pub mod scaling;
 pub mod tables;
 pub mod timing;
 

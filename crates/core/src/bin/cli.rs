@@ -61,7 +61,8 @@ EXTRACT OPTIONS:
   --substrate SPEC    comma list thickness:conductivity, top first
                       (default 0.5:1,38.5:100,1:0.1 — the thesis profile)
   --backplane B       grounded (default) | floating (FD solver only)
-  --solver S          eigen (default) | fd
+  --solver S          eigen (default) | fd | kernel (matrix-free
+                      synthetic model, O(n) memory — the large-n choice)
   --panels P          eigen panels / FD grid per side (default 128)
   --threads T         solver worker threads for batched solves
                       (default 1; 0 = one per CPU)
@@ -76,7 +77,9 @@ SPARSIFY OPTIONS (run registered methods side by side, shared metrics):
   --layout FILE       ASCII-art layout; default: a 16x16 regular grid
   --grid K            contacts per side of the default grid (default 16)
   --extent A          surface side length (default 128)
-  --solver S          synthetic (default; zero-cost kernel) | eigen | fd
+  --solver S          synthetic (default; dense zero-cost model) | kernel
+                      (matrix-free, O(n) memory — the large-n choice) |
+                      eigen | fd
   --levels N          quadtree depth for wavelet/lowrank (default: auto)
   --target F          nonzero budget n^2/F for the dense baselines
                       (default 4)
@@ -250,6 +253,7 @@ fn cmd_extract(args: &[String]) -> Result<(), String> {
             )
             .map_err(|e| format!("fd solver: {e}"))?,
         ),
+        "kernel" => Box::new(solver::kernel(layout)),
         other => return Err(format!("unknown solver {other:?}")),
     };
     let counting = CountingSolver::new(&*black_box);
@@ -341,6 +345,7 @@ fn cmd_sparsify(args: &[String]) -> Result<(), String> {
 
     let black_box: Box<dyn SubstrateSolver> = match solver_kind {
         "synthetic" => Box::new(solver::synthetic(&layout)),
+        "kernel" => Box::new(solver::kernel(&layout)),
         "eigen" => Box::new(
             EigenSolver::new(
                 &Substrate::thesis_standard(),

@@ -53,6 +53,40 @@ pub struct CgResult {
     pub relative_residual: f64,
 }
 
+/// Reusable work vectors for [`pcg_with`].
+///
+/// A PCG solve needs five `n`-vectors (residual, operator output,
+/// preconditioned residual, search direction, operator-times-direction);
+/// [`pcg`] allocates them per call, which is fine for one solve but turns
+/// into five heap allocations *per column* in the batched extraction
+/// paths. Hoist one `CgScratch` out of the column loop and call
+/// [`pcg_with`] instead: every vector is (re)sized and fully overwritten
+/// on each solve, so results are bit-identical to the allocating path.
+#[derive(Clone, Debug, Default)]
+pub struct CgScratch {
+    r: Vec<f64>,
+    ax: Vec<f64>,
+    z: Vec<f64>,
+    p: Vec<f64>,
+    ap: Vec<f64>,
+}
+
+impl CgScratch {
+    /// An empty scratch; vectors grow to the operator dimension on first
+    /// use and are reused afterwards.
+    pub fn new() -> Self {
+        CgScratch::default()
+    }
+
+    fn resize(&mut self, n: usize) {
+        self.r.resize(n, 0.0);
+        self.ax.resize(n, 0.0);
+        self.z.resize(n, 0.0);
+        self.p.resize(n, 0.0);
+        self.ap.resize(n, 0.0);
+    }
+}
+
 /// Solves `A x = b` by plain conjugate gradient.
 ///
 /// `x` holds the initial guess on entry and the solution on exit.
@@ -67,6 +101,8 @@ pub fn cg(op: &dyn LinOp, b: &[f64], x: &mut [f64], tol: f64, max_iter: usize) -
 /// preconditioner application `z = M^{-1} r` given by `precond`.
 ///
 /// `precond` must be symmetric positive definite for PCG theory to hold.
+/// Allocates its work vectors; batch callers should hoist a [`CgScratch`]
+/// and use [`pcg_with`] (identical results).
 ///
 /// # Panics
 ///
@@ -79,6 +115,21 @@ pub fn pcg(
     tol: f64,
     max_iter: usize,
 ) -> CgResult {
+    pcg_with(op, precond, b, x, tol, max_iter, &mut CgScratch::new())
+}
+
+/// [`pcg`] with caller-provided work vectors — zero heap allocation once
+/// `scratch` has reached the operator dimension, bit-identical results.
+#[allow(clippy::too_many_arguments)]
+pub fn pcg_with(
+    op: &dyn LinOp,
+    precond: &dyn LinOp,
+    b: &[f64],
+    x: &mut [f64],
+    tol: f64,
+    max_iter: usize,
+    scratch: &mut CgScratch,
+) -> CgResult {
     let n = op.dim();
     assert_eq!(precond.dim(), n, "preconditioner dimension mismatch");
     assert_eq!(b.len(), n, "rhs dimension mismatch");
@@ -90,38 +141,37 @@ pub fn pcg(
         return CgResult { iterations: 0, converged: true, relative_residual: 0.0 };
     }
 
-    let mut r = vec![0.0; n];
-    let mut ax = vec![0.0; n];
-    op.apply(x, &mut ax);
+    scratch.resize(n);
+    let CgScratch { r, ax, z, p, ap } = scratch;
+    let (r, z, p) = (&mut r[..], &mut z[..], &mut p[..]);
+    op.apply(x, ax);
     for i in 0..n {
         r[i] = b[i] - ax[i];
     }
-    let mut z = vec![0.0; n];
-    precond.apply(&r, &mut z);
-    let mut p = z.clone();
-    let mut rz = dot(&r, &z);
-    let mut relres = nrm2(&r) / bnorm;
+    precond.apply(r, z);
+    p.copy_from_slice(z);
+    let mut rz = dot(r, z);
+    let mut relres = nrm2(r) / bnorm;
     if relres <= tol {
         return CgResult { iterations: 0, converged: true, relative_residual: relres };
     }
 
-    let mut ap = vec![0.0; n];
     for it in 1..=max_iter {
-        op.apply(&p, &mut ap);
-        let pap = dot(&p, &ap);
+        op.apply(p, ap);
+        let pap = dot(p, ap);
         if pap <= 0.0 || !pap.is_finite() {
             // operator numerically indefinite or singular along p; bail out
             return CgResult { iterations: it, converged: false, relative_residual: relres };
         }
         let alpha = rz / pap;
-        axpy(alpha, &p, x);
-        axpy(-alpha, &ap, &mut r);
-        relres = nrm2(&r) / bnorm;
+        axpy(alpha, p, x);
+        axpy(-alpha, ap, r);
+        relres = nrm2(r) / bnorm;
         if relres <= tol {
             return CgResult { iterations: it, converged: true, relative_residual: relres };
         }
-        precond.apply(&r, &mut z);
-        let rz_new = dot(&r, &z);
+        precond.apply(r, z);
+        let rz_new = dot(r, z);
         let beta = rz_new / rz;
         rz = rz_new;
         for i in 0..n {

@@ -64,6 +64,12 @@ impl Dct {
     ///
     /// Panics if slice lengths differ from the plan length.
     pub fn forward(&self, x: &[f64], out: &mut [f64]) {
+        self.forward_with(x, out, &mut DctScratch::default());
+    }
+
+    /// [`forward`](Self::forward) with caller-provided work buffers —
+    /// zero heap allocation once `sc` has grown to the plan length.
+    pub fn forward_with(&self, x: &[f64], out: &mut [f64], sc: &mut DctScratch) {
         let n = self.n;
         assert_eq!(x.len(), n);
         assert_eq!(out.len(), n);
@@ -72,7 +78,9 @@ impl Dct {
             return;
         }
         // Makhoul even/odd permutation: v[j] = x[2j], v[n-1-j] = x[2j+1].
-        let mut v = vec![C64::default(); n];
+        sc.v.clear();
+        sc.v.resize(n, C64::default());
+        let v = &mut sc.v;
         let mut j = 0;
         let mut i = 0;
         while i < n {
@@ -87,7 +95,7 @@ impl Dct {
             i += 2;
             j = j.wrapping_sub(1);
         }
-        self.fft.forward(&mut v);
+        self.fft.forward(v);
         for k in 0..n {
             // C_k = Re(exp(-i pi k / 2n) V_k)
             out[k] = self.phase[k].re * v[k].re - self.phase[k].im * v[k].im;
@@ -101,6 +109,16 @@ impl Dct {
     ///
     /// Panics if slice lengths differ from the plan length.
     pub fn inverse(&self, c: &[f64], out: &mut [f64]) {
+        self.inverse_with(c, out, &mut DctScratch::default());
+    }
+
+    /// [`inverse`](Self::inverse) with caller-provided work buffers —
+    /// zero heap allocation once `sc` has grown to the plan length.
+    pub fn inverse_with(&self, c: &[f64], out: &mut [f64], sc: &mut DctScratch) {
+        self.inverse_core(c, out, &mut sc.v);
+    }
+
+    fn inverse_core(&self, c: &[f64], out: &mut [f64], v: &mut Vec<C64>) {
         let n = self.n;
         assert_eq!(c.len(), n);
         assert_eq!(out.len(), n);
@@ -111,7 +129,8 @@ impl Dct {
         // Invert Makhoul: V_k = exp(+i pi k/2n) * (c_k + i c_{n-k}), c_n = 0.
         // Note E^{-1} = (2/n) E' D^{-1}-ish; here we reverse the exact steps
         // of `forward` instead, so inverse(forward(x)) == x.
-        let mut v = vec![C64::default(); n];
+        v.clear();
+        v.resize(n, C64::default());
         v[0] = C64::new(c[0], 0.0);
         for k in 1..n {
             let ck = c[k];
@@ -121,7 +140,7 @@ impl Dct {
             let z = C64::new(ck, -cnk);
             v[k] = C64::new(p.re * z.re - p.im * z.im, p.re * z.im + p.im * z.re);
         }
-        self.fft.inverse(&mut v);
+        self.fft.inverse(v);
         let mut i = 0;
         let mut j = 0;
         while i < n {
@@ -148,16 +167,38 @@ impl Dct {
     ///
     /// Panics if slice lengths differ from the plan length.
     pub fn transpose(&self, c: &[f64], out: &mut [f64]) {
+        self.transpose_with(c, out, &mut DctScratch::default());
+    }
+
+    /// [`transpose`](Self::transpose) with caller-provided work buffers —
+    /// zero heap allocation once `sc` has grown to the plan length.
+    pub fn transpose_with(&self, c: &[f64], out: &mut [f64], sc: &mut DctScratch) {
         let n = self.n;
         assert_eq!(c.len(), n);
         assert_eq!(out.len(), n);
-        let mut d = vec![0.0; n];
+        let DctScratch { v, d } = sc;
+        d.clear();
+        d.resize(n, 0.0);
         d[0] = c[0] * n as f64;
         for k in 1..n {
             d[k] = c[k] * n as f64 / 2.0;
         }
-        self.inverse(&d, out);
+        self.inverse_core(d, out, v);
     }
+}
+
+/// Reusable work buffers for the `_with` transform variants.
+///
+/// The plain [`Dct::forward`] / [`Dct::inverse`] / [`Dct::transpose`]
+/// calls allocate their FFT staging per call — fine in isolation, but the
+/// FD and eigenfunction solvers run thousands of transforms per PCG
+/// solve, one per grid row/column per iteration. Hoisting one scratch per
+/// solver worker removes every one of those allocations; all buffers are
+/// fully overwritten per call, so results are identical.
+#[derive(Clone, Debug, Default)]
+pub struct DctScratch {
+    v: Vec<C64>,
+    d: Vec<f64>,
 }
 
 /// Applies a 1-D transform along every row and then every column of a
@@ -169,30 +210,54 @@ impl Dct {
 ///
 /// Panics if `grid.len() != nx * ny` or plan sizes don't match.
 pub fn dct2d(plan_x: &Dct, plan_y: &Dct, grid: &mut [f64], nx: usize, ny: usize, forward: bool) {
+    dct2d_with(plan_x, plan_y, grid, nx, ny, forward, &mut Dct2dScratch::default());
+}
+
+/// Reusable work buffers for [`dct2d_with`]: the row/column staging
+/// slices plus the 1-D transform scratch.
+#[derive(Clone, Debug, Default)]
+pub struct Dct2dScratch {
+    buf: Vec<f64>,
+    col: Vec<f64>,
+    dct: DctScratch,
+}
+
+/// [`dct2d`] with caller-provided work buffers — zero heap allocation
+/// once `sc` has grown to the plan lengths, identical results.
+pub fn dct2d_with(
+    plan_x: &Dct,
+    plan_y: &Dct,
+    grid: &mut [f64],
+    nx: usize,
+    ny: usize,
+    forward: bool,
+    sc: &mut Dct2dScratch,
+) {
     assert_eq!(grid.len(), nx * ny);
     assert_eq!(plan_x.len(), nx);
     assert_eq!(plan_y.len(), ny);
-    let mut buf = vec![0.0; nx.max(ny)];
+    sc.buf.resize(nx.max(ny), 0.0);
+    sc.col.resize(ny, 0.0);
+    let Dct2dScratch { buf, col, dct } = sc;
     // rows (x direction)
     for r in 0..ny {
         let row = &mut grid[r * nx..(r + 1) * nx];
         if forward {
-            plan_x.forward(row, &mut buf[..nx]);
+            plan_x.forward_with(row, &mut buf[..nx], dct);
         } else {
-            plan_x.transpose(row, &mut buf[..nx]);
+            plan_x.transpose_with(row, &mut buf[..nx], dct);
         }
         row.copy_from_slice(&buf[..nx]);
     }
     // columns (y direction)
-    let mut col = vec![0.0; ny];
     for cidx in 0..nx {
         for r in 0..ny {
             col[r] = grid[r * nx + cidx];
         }
         if forward {
-            plan_y.forward(&col, &mut buf[..ny]);
+            plan_y.forward_with(&col[..ny], &mut buf[..ny], dct);
         } else {
-            plan_y.transpose(&col, &mut buf[..ny]);
+            plan_y.transpose_with(&col[..ny], &mut buf[..ny], dct);
         }
         for r in 0..ny {
             grid[r * nx + cidx] = buf[r];

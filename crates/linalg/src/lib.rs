@@ -52,7 +52,7 @@ pub mod svd;
 pub mod trace;
 pub mod tridiag;
 
-pub use cg::{cg, pcg, CgResult, IdentityPrecond, LinOp};
+pub use cg::{cg, pcg, pcg_with, CgResult, CgScratch, IdentityPrecond, LinOp};
 pub use mat::{axpy, dot, nrm2, Mat};
 pub use op::{resolve_threads, ApplyWorkspace, CouplingOp, LowRankOp, ParallelApply};
 pub use sparse::{Csr, SymmetricAccumulator, Triplets};

@@ -12,7 +12,7 @@ use std::time::Instant;
 use subsparse_linalg::{ApplyWorkspace, CouplingOp, Mat, ParallelApply};
 use subsparse_substrate::{solver::extract_columns, SubstrateSolver};
 
-use crate::metrics::{frac_above, rel_fro_error};
+use crate::metrics::{error_stats, frac_above, rel_fro_error};
 use crate::SparsifyOutcome;
 
 /// Evaluation knobs.
@@ -96,6 +96,18 @@ pub struct MethodReport {
     pub build_ms: f64,
     /// How many columns were graded (`n` when graded densely).
     pub graded_cols: usize,
+    /// Coupling invented between uncoupled contacts: entries with an
+    /// exactly-zero reference but a nonzero approximation, counted over
+    /// the graded columns *plus* the spurious-candidate sample
+    /// ([`ErrorStats::spurious_count`](crate::metrics::ErrorStats::spurious_count)
+    /// folded across both sweeps).
+    pub spurious_count: usize,
+    /// Largest approximation magnitude over those spurious entries (0
+    /// when there are none).
+    pub max_abs_spurious: f64,
+    /// Columns scanned for spurious candidates beyond the graded sample
+    /// (0 when the grading was dense — nothing is off-column then).
+    pub spurious_extra_cols: usize,
 }
 
 impl MethodReport {
@@ -192,6 +204,7 @@ pub fn evaluate_columns(
     }
 
     let timings = time_applies(&outcome.rep, opts);
+    let stats = error_stats(reference, &approx);
 
     MethodReport {
         method: method.to_string(),
@@ -209,6 +222,9 @@ pub fn evaluate_columns(
         eval_threads: timings.threads,
         build_ms: outcome.build_time.as_secs_f64() * 1e3,
         graded_cols: cols.len(),
+        spurious_count: stats.spurious_count,
+        max_abs_spurious: stats.max_abs_spurious,
+        spurious_extra_cols: 0,
     }
 }
 
@@ -295,6 +311,14 @@ pub fn evaluate_dense(
 /// Grades an outcome against the black-box solver itself: all `n` columns
 /// when `n <= opts.max_dense_n`, otherwise a deterministic stride sample
 /// of `opts.sample_cols` columns (the thesis's Table 4.3 protocol).
+///
+/// In the sampled regime, error metrics see only the sampled columns —
+/// coupling *invented* between the sample points would go unseen. To
+/// close that blind spot, a second deterministic sweep scans
+/// spurious-candidate columns (the stride sample offset by half a stride,
+/// disjoint from the graded set) for off-column nonzeros of the
+/// approximation sitting on exactly-zero reference entries, and folds
+/// them into [`MethodReport::spurious_count`].
 pub fn evaluate(
     method: &str,
     outcome: &SparsifyOutcome,
@@ -302,14 +326,28 @@ pub fn evaluate(
     opts: &EvalOptions,
 ) -> MethodReport {
     let n = outcome.n();
-    let cols: Vec<usize> = if n <= opts.max_dense_n {
-        (0..n).collect()
-    } else {
-        let stride = (n / opts.sample_cols.max(1)).max(1);
-        (0..n).step_by(stride).collect()
-    };
+    if n <= opts.max_dense_n {
+        let cols: Vec<usize> = (0..n).collect();
+        let reference = extract_columns(solver, &cols);
+        return evaluate_columns(method, outcome, &reference, &cols, opts);
+    }
+    let stride = (n / opts.sample_cols.max(1)).max(1);
+    let cols: Vec<usize> = (0..n).step_by(stride).collect();
     let reference = extract_columns(solver, &cols);
-    evaluate_columns(method, outcome, &reference, &cols, opts)
+    let mut report = evaluate_columns(method, outcome, &reference, &cols, opts);
+
+    // spurious-candidate sweep: the half-stride-offset sample, disjoint
+    // from the graded columns whenever stride > 1
+    let extra: Vec<usize> = (stride / 2..n).step_by(stride).filter(|c| c % stride != 0).collect();
+    if !extra.is_empty() {
+        let approx = outcome.rep.dense_columns_threaded(&extra, opts.threads);
+        let reference = extract_columns(solver, &extra);
+        let stats = error_stats(&reference, &approx);
+        report.spurious_count += stats.spurious_count;
+        report.max_abs_spurious = report.max_abs_spurious.max(stats.max_abs_spurious);
+        report.spurious_extra_cols = extra.len();
+    }
+    report
 }
 
 #[cfg(test)]
@@ -350,6 +388,27 @@ mod tests {
         let opts = EvalOptions { max_dense_n: 16, sample_cols: 8, ..Default::default() };
         let report = evaluate("threshold", &out, &s, &opts);
         assert_eq!(report.graded_cols, 8);
+    }
+
+    #[test]
+    fn sampled_evaluation_scans_spurious_candidates() {
+        let layout = generators::regular_grid(128.0, 8, 2.0);
+        let s = solver::synthetic(&layout);
+        let out =
+            Method::Threshold.build().sparsify(&s, &layout, &SparsifyOptions::default()).unwrap();
+        let opts = EvalOptions { max_dense_n: 16, sample_cols: 8, ..Default::default() };
+        let a = evaluate("threshold", &out, &s, &opts);
+        // the half-stride-offset sweep ran, disjoint from the graded set
+        assert_eq!(a.graded_cols, 8);
+        assert_eq!(a.spurious_extra_cols, 8);
+        // deterministic: a second run folds the identical count
+        let b = evaluate("threshold", &out, &s, &opts);
+        assert_eq!(a.spurious_count, b.spurious_count);
+        assert_eq!(a.max_abs_spurious, b.max_abs_spurious);
+        // dense grading has no off-column blind spot to sweep
+        let dense = evaluate("threshold", &out, &s, &EvalOptions::default());
+        assert_eq!(dense.spurious_extra_cols, 0);
+        assert_eq!(dense.graded_cols, 64);
     }
 
     #[test]

@@ -25,8 +25,8 @@ use crate::{SolverError, Substrate};
 use std::cell::RefCell;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use subsparse_layout::Layout;
-use subsparse_linalg::cg::{cg, pcg, LinOp};
-use subsparse_linalg::dct::{dct2d, Dct};
+use subsparse_linalg::cg::{pcg_with, CgScratch, IdentityPrecond, LinOp};
+use subsparse_linalg::dct::{dct2d_with, Dct, Dct2dScratch};
 
 /// Configuration for [`EigenSolver`].
 #[derive(Clone, Copy, Debug)]
@@ -214,13 +214,20 @@ impl EigenSolver {
     /// grid of *total panel currents* in place, leaving panel-average
     /// potentials (the pipeline of thesis Fig 2-6).
     pub fn apply_current_to_potential(&self, grid: &mut [f64]) {
+        self.apply_current_to_potential_with(grid, &mut Dct2dScratch::default());
+    }
+
+    /// [`apply_current_to_potential`](Self::apply_current_to_potential)
+    /// with caller-provided transform scratch — zero heap allocation once
+    /// warm, identical results.
+    fn apply_current_to_potential_with(&self, grid: &mut [f64], sc: &mut Dct2dScratch) {
         let p = self.p;
         assert_eq!(grid.len(), p * p);
-        dct2d(&self.dct, &self.dct, grid, p, p, true);
+        dct2d_with(&self.dct, &self.dct, grid, p, p, true, sc);
         for (g, m) in grid.iter_mut().zip(&self.mu) {
             *g *= m;
         }
-        dct2d(&self.dct, &self.dct, grid, p, p, false);
+        dct2d_with(&self.dct, &self.dct, grid, p, p, false, sc);
     }
 
     /// `A_cc` diagonal over contact panels via
@@ -270,27 +277,53 @@ impl EigenSolver {
     ///
     /// Panics if `contact_voltages.len() != n_contacts`.
     pub fn solve_panels(&self, contact_voltages: &[f64]) -> Vec<f64> {
+        let mut sc = EigenScratch::default();
+        self.solve_panels_with(contact_voltages, &mut sc);
+        sc.x
+    }
+
+    /// [`solve_panels`](Self::solve_panels) into caller-provided reusable
+    /// state (solution lands in `sc.x`) — the batch path hoists one
+    /// [`EigenScratch`] per worker so a `k`-column batch sets up
+    /// `O(threads)` times instead of `k` times. Every buffer is fully
+    /// overwritten per solve: bit-identical results.
+    fn solve_panels_with(&self, contact_voltages: &[f64], sc: &mut EigenScratch) {
         assert_eq!(contact_voltages.len(), self.n_contacts, "voltage vector length mismatch");
         let np = self.panel_list.len();
-        let rhs: Vec<f64> =
-            self.panel_owner.iter().map(|&o| contact_voltages[o as usize]).collect();
-        let mut x = vec![0.0; np];
-        let op = RestrictedOp { solver: self, grid: RefCell::new(vec![0.0; self.p * self.p]) };
+        sc.rhs.clear();
+        sc.rhs.extend(self.panel_owner.iter().map(|&o| contact_voltages[o as usize]));
+        sc.x.clear();
+        sc.x.resize(np, 0.0);
+        sc.grid.get_mut().resize(self.p * self.p, 0.0);
+        let op = RestrictedOp { solver: self, grid: &sc.grid, dct: &sc.dct };
         let result = if self.cfg.jacobi {
             let pre = JacobiOp { diag: &self.diag };
-            pcg(&op, &pre, &rhs, &mut x, self.cfg.tol, self.cfg.max_iter)
+            pcg_with(&op, &pre, &sc.rhs, &mut sc.x, self.cfg.tol, self.cfg.max_iter, &mut sc.cg)
         } else {
-            cg(&op, &rhs, &mut x, self.cfg.tol, self.cfg.max_iter)
+            let id = IdentityPrecond::new(np);
+            pcg_with(&op, &id, &sc.rhs, &mut sc.x, self.cfg.tol, self.cfg.max_iter, &mut sc.cg)
         };
         self.solves.fetch_add(1, Ordering::Relaxed);
         self.iterations.fetch_add(result.iterations, Ordering::Relaxed);
-        x
     }
+}
+
+/// Reusable per-worker state for the eigenfunction solver's CG solves:
+/// the panel RHS, panel solution, the `P x P` operator grid, and the CG
+/// work vectors.
+#[derive(Debug, Default)]
+struct EigenScratch {
+    rhs: Vec<f64>,
+    x: Vec<f64>,
+    grid: RefCell<Vec<f64>>,
+    dct: RefCell<Dct2dScratch>,
+    cg: CgScratch,
 }
 
 struct RestrictedOp<'a> {
     solver: &'a EigenSolver,
-    grid: RefCell<Vec<f64>>,
+    grid: &'a RefCell<Vec<f64>>,
+    dct: &'a RefCell<Dct2dScratch>,
 }
 
 impl LinOp for RestrictedOp<'_> {
@@ -303,7 +336,7 @@ impl LinOp for RestrictedOp<'_> {
         for (k, &q) in self.solver.panel_list.iter().enumerate() {
             grid[q as usize] = x[k];
         }
-        self.solver.apply_current_to_potential(&mut grid);
+        self.solver.apply_current_to_potential_with(&mut grid, &mut self.dct.borrow_mut());
         for (k, &q) in self.solver.panel_list.iter().enumerate() {
             y[k] = grid[q as usize];
         }
@@ -329,14 +362,19 @@ impl EigenSolver {
     /// One CG solve plus the panel-to-contact accumulation — the shared
     /// core of [`SubstrateSolver::solve`] and the threaded
     /// [`SubstrateSolver::solve_batch`]. The mode multipliers, DCT plans,
-    /// and Jacobi diagonal are built once and only read here; the per-CG
-    /// `P x P` scratch grid lives inside [`solve_panels`](Self::solve_panels)'s
-    /// operator, so concurrent columns never share mutable state.
-    fn solve_contacts_one(&self, contact_voltages: &[f64], currents: &mut [f64]) {
-        let panel_currents = self.solve_panels(contact_voltages);
+    /// and Jacobi diagonal are built once and only read here; each worker
+    /// owns its [`EigenScratch`], so concurrent columns never share
+    /// mutable state.
+    fn solve_contacts_one(
+        &self,
+        contact_voltages: &[f64],
+        currents: &mut [f64],
+        sc: &mut EigenScratch,
+    ) {
+        self.solve_panels_with(contact_voltages, sc);
         currents.fill(0.0);
         for (k, &o) in self.panel_owner.iter().enumerate() {
-            currents[o as usize] += panel_currents[k];
+            currents[o as usize] += sc.x[k];
         }
     }
 }
@@ -349,18 +387,19 @@ impl SubstrateSolver for EigenSolver {
     fn solve(&self, contact_voltages: &[f64]) -> Vec<f64> {
         let _t = crate::solver::SolveTrace::begin("solve.eigen", 1);
         let mut currents = vec![0.0; self.n_contacts];
-        self.solve_contacts_one(contact_voltages, &mut currents);
+        self.solve_contacts_one(contact_voltages, &mut currents, &mut EigenScratch::default());
         currents
     }
 
     fn solve_batch(&self, voltages: &subsparse_linalg::Mat) -> subsparse_linalg::Mat {
         assert_eq!(voltages.n_rows(), self.n_contacts, "voltage block row mismatch");
         let _t = crate::solver::SolveTrace::begin("solve_batch.eigen", voltages.n_cols());
-        crate::solver::solve_columns_threaded(
+        crate::solver::solve_columns_threaded_with(
             voltages,
             self.n_contacts,
             self.cfg.threads,
-            |v, out| self.solve_contacts_one(v, out),
+            EigenScratch::default,
+            |v, out, sc| self.solve_contacts_one(v, out, sc),
         )
     }
 }
@@ -390,7 +429,9 @@ mod tests {
     #[test]
     fn operator_is_symmetric() {
         let s = small_solver();
-        let op = RestrictedOp { solver: &s, grid: RefCell::new(vec![0.0; 32 * 32]) };
+        let grid = RefCell::new(vec![0.0; 32 * 32]);
+        let dct = RefCell::new(Dct2dScratch::default());
+        let op = RestrictedOp { solver: &s, grid: &grid, dct: &dct };
         let n = op.dim();
         // probe a few (i, j) pairs: e_i' A e_j == e_j' A e_i
         let mut x = vec![0.0; n];

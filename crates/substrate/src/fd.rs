@@ -26,8 +26,8 @@ use crate::{Backplane, SolverError, Substrate};
 use std::cell::RefCell;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use subsparse_layout::Layout;
-use subsparse_linalg::cg::{pcg, IdentityPrecond, LinOp};
-use subsparse_linalg::dct::Dct;
+use subsparse_linalg::cg::{pcg_with, CgScratch, IdentityPrecond, LinOp};
+use subsparse_linalg::dct::{Dct, DctScratch};
 use subsparse_linalg::tridiag;
 
 /// Where the Dirichlet (contact) nodes sit relative to the top surface
@@ -393,9 +393,11 @@ impl FdSolver {
         self.nx * self.ny * self.nz
     }
 
-    /// Builds the PCG right-hand side for the given contact voltages.
-    fn build_rhs(&self, v: &[f64]) -> Vec<f64> {
-        let mut b = vec![0.0; self.n_nodes()];
+    /// Builds the PCG right-hand side for the given contact voltages into
+    /// a caller-owned buffer (resized and zeroed here).
+    fn build_rhs_into(&self, v: &[f64], b: &mut Vec<f64>) {
+        b.clear();
+        b.resize(self.n_nodes(), 0.0);
         let nxy = self.nx * self.ny;
         match self.placement {
             DirichletPlacement::OutsideSurface => {
@@ -431,13 +433,12 @@ impl FdSolver {
                 }
             }
         }
-        b
     }
 
     /// Computes contact currents from the interior solution.
-    fn contact_currents(&self, v: &[f64], sol: &[f64]) -> Vec<f64> {
+    fn contact_currents_into(&self, v: &[f64], sol: &[f64], currents: &mut [f64]) {
         let nxy = self.nx * self.ny;
-        let mut currents = vec![0.0; self.n_contacts];
+        currents.fill(0.0);
         match self.placement {
             DirichletPlacement::OutsideSurface => {
                 for (ci, nodes) in self.contact_nodes.iter().enumerate() {
@@ -481,8 +482,21 @@ impl FdSolver {
                 }
             }
         }
-        currents
     }
+}
+
+/// Reusable per-worker state for the FD solver's PCG solves: the RHS and
+/// solution node vectors, the PCG work vectors, and the fast-Poisson
+/// preconditioner scratch. One of these lives per batch worker (hoisted
+/// out of the column loop), so a `k`-column batch performs per-column
+/// setup `O(threads)` times instead of `k` times. Every buffer is fully
+/// overwritten per solve, so results are bit-identical to fresh state.
+#[derive(Debug, Default)]
+struct FdScratch {
+    b: Vec<f64>,
+    x: Vec<f64>,
+    cg: CgScratch,
+    fp: RefCell<FpScratch>,
 }
 
 impl FdSolver {
@@ -490,34 +504,36 @@ impl FdSolver {
     /// [`SubstrateSolver::solve`] and the threaded
     /// [`SubstrateSolver::solve_batch`]. The system setup and
     /// preconditioner are built once at construction and only *read* here,
-    /// so any number of worker threads can run this concurrently; stats
-    /// are accumulated atomically.
-    fn solve_one(&self, contact_voltages: &[f64], currents: &mut [f64]) {
+    /// so any number of worker threads can run this concurrently (each with
+    /// its own scratch); stats are accumulated atomically.
+    fn solve_one(&self, contact_voltages: &[f64], currents: &mut [f64], sc: &mut FdScratch) {
         assert_eq!(contact_voltages.len(), self.n_contacts, "voltage vector length mismatch");
-        let b = self.build_rhs(contact_voltages);
-        let mut x = vec![0.0; self.n_nodes()];
+        self.build_rhs_into(contact_voltages, &mut sc.b);
+        sc.x.clear();
+        sc.x.resize(self.n_nodes(), 0.0);
+        let (b, x, cg) = (&sc.b, &mut sc.x, &mut sc.cg);
         let op = GridOp { s: self };
         let result = match &self.precond {
             PrecondData::None => {
                 let id = IdentityPrecond::new(self.n_nodes());
-                pcg(&op, &id, &b, &mut x, self.cfg.tol, self.cfg.max_iter)
+                pcg_with(&op, &id, b, x, self.cfg.tol, self.cfg.max_iter, cg)
             }
             PrecondData::Dic(dhat) => {
                 let pre = DicOp { s: self, dhat };
-                pcg(&op, &pre, &b, &mut x, self.cfg.tol, self.cfg.max_iter)
+                pcg_with(&op, &pre, b, x, self.cfg.tol, self.cfg.max_iter, cg)
             }
             PrecondData::Fast(fp) => {
-                let pre = FastOp { fp, pinned: &self.pinned, scratch: RefCell::default() };
-                pcg(&op, &pre, &b, &mut x, self.cfg.tol, self.cfg.max_iter)
+                let pre = FastOp { fp, pinned: &self.pinned, scratch: &sc.fp };
+                pcg_with(&op, &pre, b, x, self.cfg.tol, self.cfg.max_iter, cg)
             }
             PrecondData::Mg(mg) => {
                 let pre = MgOp { mg, n: self.n_nodes() };
-                pcg(&op, &pre, &b, &mut x, self.cfg.tol, self.cfg.max_iter)
+                pcg_with(&op, &pre, b, x, self.cfg.tol, self.cfg.max_iter, cg)
             }
         };
         self.solves.fetch_add(1, Ordering::Relaxed);
         self.iterations.fetch_add(result.iterations, Ordering::Relaxed);
-        currents.copy_from_slice(&self.contact_currents(contact_voltages, &x));
+        self.contact_currents_into(contact_voltages, &sc.x, currents);
     }
 }
 
@@ -529,18 +545,19 @@ impl SubstrateSolver for FdSolver {
     fn solve(&self, contact_voltages: &[f64]) -> Vec<f64> {
         let _t = crate::solver::SolveTrace::begin("solve.fd", 1);
         let mut currents = vec![0.0; self.n_contacts];
-        self.solve_one(contact_voltages, &mut currents);
+        self.solve_one(contact_voltages, &mut currents, &mut FdScratch::default());
         currents
     }
 
     fn solve_batch(&self, voltages: &subsparse_linalg::Mat) -> subsparse_linalg::Mat {
         assert_eq!(voltages.n_rows(), self.n_contacts, "voltage block row mismatch");
         let _t = crate::solver::SolveTrace::begin("solve_batch.fd", voltages.n_cols());
-        crate::solver::solve_columns_threaded(
+        crate::solver::solve_columns_threaded_with(
             voltages,
             self.n_contacts,
             self.cfg.threads,
-            |v, out| self.solve_one(v, out),
+            FdScratch::default,
+            |v, out, sc| self.solve_one(v, out, sc),
         )
     }
 }
@@ -742,6 +759,7 @@ struct FpScratch {
     zrhs: Vec<f64>,
     zscr: Vec<f64>,
     lower: Vec<f64>,
+    dct: DctScratch,
 }
 
 impl FastPoisson {
@@ -806,7 +824,7 @@ impl FastPoisson {
             // forward orthonormal DCT rows (x)
             for r in 0..ny {
                 let row = &mut plane[r * nx..(r + 1) * nx];
-                self.dctx.forward(row, &mut sc.buf[..nx]);
+                self.dctx.forward_with(row, &mut sc.buf[..nx], &mut sc.dct);
                 for k in 0..nx {
                     row[k] = sc.buf[k] * self.sx[k];
                 }
@@ -816,7 +834,7 @@ impl FastPoisson {
                 for r in 0..ny {
                     sc.col[r] = plane[r * nx + c];
                 }
-                self.dcty.forward(&sc.col[..ny], &mut sc.buf[..ny]);
+                self.dcty.forward_with(&sc.col[..ny], &mut sc.buf[..ny], &mut sc.dct);
                 for r in 0..ny {
                     plane[r * nx + c] = sc.buf[r] * self.sy[r];
                 }
@@ -867,7 +885,7 @@ impl FastPoisson {
                 for r in 0..ny {
                     sc.col[r] = plane[r * nx + c] * self.sy[r];
                 }
-                self.dcty.transpose(&sc.col[..ny], &mut sc.buf[..ny]);
+                self.dcty.transpose_with(&sc.col[..ny], &mut sc.buf[..ny], &mut sc.dct);
                 for r in 0..ny {
                     plane[r * nx + c] = sc.buf[r];
                 }
@@ -877,7 +895,7 @@ impl FastPoisson {
                 for k in 0..nx {
                     sc.col[k] = row[k] * self.sx[k];
                 }
-                self.dctx.transpose(&sc.col[..nx], &mut sc.buf[..nx]);
+                self.dctx.transpose_with(&sc.col[..nx], &mut sc.buf[..nx], &mut sc.dct);
                 row.copy_from_slice(&sc.buf[..nx]);
             }
         }
@@ -887,9 +905,10 @@ impl FastPoisson {
 struct FastOp<'a> {
     fp: &'a FastPoisson,
     pinned: &'a [bool],
-    /// Per-solve scratch: each PCG solve owns its `FastOp`, so concurrent
-    /// batch columns never share this cell.
-    scratch: RefCell<FpScratch>,
+    /// Worker-owned scratch: each batch worker hands its own cell to the
+    /// `FastOp`s it constructs, so concurrent columns never share it and
+    /// the buffers persist across the worker's solves.
+    scratch: &'a RefCell<FpScratch>,
 }
 
 impl LinOp for FastOp<'_> {

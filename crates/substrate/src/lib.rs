@@ -38,7 +38,7 @@ pub use eigen::{EigenSolver, EigenSolverConfig};
 pub use fd::{DirichletPlacement, FdPrecond, FdSolver, FdSolverConfig, TopBc};
 pub use solver::{
     extract_dense, extract_dense_batched, BatchOptions, CountingSolver, DenseSolver, HasSolveStats,
-    SolveStats, SubstrateSolver,
+    KernelSolver, SolveStats, SubstrateSolver,
 };
 
 use std::fmt;

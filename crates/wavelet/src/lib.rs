@@ -31,7 +31,7 @@ pub mod basis;
 pub mod extract;
 
 pub use basis::{build_basis, WaveletBasis};
-pub use extract::{extract, transform_dense, ExtractOptions};
+pub use extract::{extract, transform_dense, transform_streaming, ExtractOptions};
 // the tree-structured serving path of the basis (built by `build_basis`,
 // attached to every extracted representation)
 pub use subsparse_hier::FastWaveletTransform;

@@ -1,0 +1,121 @@
+//! The memory-lean extraction contract: the large-`n` wavelet pipeline
+//! (matrix-free kernel black box, combine-solves extraction, streaming
+//! threshold-on-the-fly `Gw` assembly) never allocates an `n x n` dense
+//! buffer.
+//!
+//! Enforced with a counting global allocator that records the *largest
+//! single allocation* of each pipeline stage at `n = 1024` (the smallest
+//! scaling-sweep point), where a dense `n x n` `f64` matrix is 8 MiB in
+//! one request:
+//!
+//! * the kernel black box solves in `O(n x batch)` buffers — its biggest
+//!   allocation is bounded by a fraction of a dense *column block*;
+//! * the streaming transform keeps `O(nnz_kept)` triplets — far below
+//!   the dense matrix it replaces once a serving threshold drops the
+//!   far-field;
+//! * the combine-solves extraction accumulates `O(nnz(Gw))` entries.
+//!   At toy sizes that hashmap can legitimately *exceed* `8 n^2` bytes
+//!   (the kept ratio is 0.39 at n = 1024, falling with `n` — see
+//!   `BENCH_scaling.json`'s trajectory and its `peak_alloc_bytes`
+//!   column for the asymptotic claim), so its gate is a documented
+//!   multiple of the dense size guarding against quadratic *dense*
+//!   regressions like materializing `G` or `Q` per solve.
+//!
+//! This file holds a single test on purpose: it installs a global
+//! allocator, and any sibling test in the same binary would race the
+//! high-water tracking.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+use subsparse_layout::generators;
+use subsparse_linalg::{CouplingOp, Mat};
+use subsparse_substrate::{solver, CountingSolver, SubstrateSolver};
+use subsparse_wavelet::{build_basis, extract, transform_streaming, ExtractOptions};
+
+/// Forwards to the system allocator, tracking the largest single request.
+struct MaxAlloc;
+
+static MAX_SINGLE: AtomicUsize = AtomicUsize::new(0);
+
+unsafe impl GlobalAlloc for MaxAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        MAX_SINGLE.fetch_max(layout.size(), Ordering::SeqCst);
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        MAX_SINGLE.fetch_max(new_size, Ordering::SeqCst);
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+}
+
+#[global_allocator]
+static GLOBAL: MaxAlloc = MaxAlloc;
+
+/// Largest single allocation made while `f` runs.
+fn max_single_allocation_during(f: impl FnOnce()) -> usize {
+    MAX_SINGLE.store(0, Ordering::SeqCst);
+    f();
+    MAX_SINGLE.load(Ordering::SeqCst)
+}
+
+#[test]
+fn wavelet_extraction_never_allocates_a_dense_n_by_n_buffer() {
+    let layout = generators::regular_grid(128.0, 32, 2.0);
+    let n = layout.n_contacts();
+    assert_eq!(n, 1024);
+    let dense_bytes = n * n * std::mem::size_of::<f64>();
+
+    // the matrix-free black box: construction is O(n), a 32-wide batch
+    // solve is O(n x 32) — nowhere near a dense column span of G
+    let kernel = solver::kernel(&layout);
+    let v = Mat::from_fn(n, 32, |i, j| ((i * 7 + j * 3) as f64 * 0.19).sin());
+    let max_single = max_single_allocation_during(|| {
+        let y = kernel.solve_batch(&v);
+        assert_eq!(y.n_cols(), 32);
+    });
+    assert!(
+        max_single < dense_bytes / 16,
+        "kernel solve_batch made a {max_single}-byte allocation (dense n x n is {dense_bytes})"
+    );
+
+    let black_box = CountingSolver::new(kernel);
+    let basis = build_basis(&layout, 3, 2).expect("basis");
+
+    // the streaming exact transform with a serving threshold: the dense
+    // `gq`/`gw` intermediates this path replaces were 8 MiB each; the
+    // kept triplets (growth-doubled) stay under half of one
+    let probe = transform_streaming(&black_box, &basis, 32, 0.0);
+    let max_abs = probe.iter().fold(0.0_f64, |m, (_, _, v)| m.max(v.abs()));
+    let max_single = max_single_allocation_during(|| {
+        let gw = transform_streaming(&black_box, &basis, 32, 1e-3 * max_abs);
+        assert!(gw.nnz() > 0 && gw.nnz() < n * n / 8, "{} entries kept", gw.nnz());
+    });
+    assert!(
+        max_single < dense_bytes / 2,
+        "transform_streaming made a {max_single}-byte allocation — within 2x of a dense \
+         n x n buffer ({dense_bytes} bytes); the transform is no longer memory-lean"
+    );
+
+    // the combine-solves extraction: its biggest allocation is the
+    // O(nnz(Gw)) accumulator (see the module docs for why that may top
+    // 8 n^2 bytes at toy n); the bound catches any quadratic dense
+    // regression on the pipeline
+    let before = black_box.count();
+    let max_single = max_single_allocation_during(|| {
+        let rep = extract(&black_box, &basis, &ExtractOptions::default());
+        assert!(rep.nnz() > 0);
+    });
+    assert!(
+        max_single < 2 * dense_bytes,
+        "extract made a {max_single}-byte allocation (2x a dense n x n buffer of \
+         {dense_bytes} bytes); the pipeline is no longer memory-lean"
+    );
+    let solves = black_box.count() - before;
+    assert!(solves < n, "combine-solves spent {solves} solves at n = {n}");
+}
