@@ -70,12 +70,34 @@ pub enum Counter {
     WorkspaceGrows = 4,
     /// Span events discarded because the sink hit [`MAX_EVENTS`].
     EventsDropped = 5,
+    /// Iterative solves that burned their iteration budget and were
+    /// re-run once with a larger one (the bounded-retry policy).
+    SolveRetries = 6,
+    /// Iterative solves still unconverged after the bounded retry
+    /// (typed-error paths surface these; infallible paths warn).
+    SolvesFailed = 7,
+    /// Blocked applies re-executed on the serial path after a worker
+    /// panic poisoned the parallel attempt.
+    DegradedApplies = 8,
+    /// Model loads that fell back to the explicit-CSR rep because the
+    /// `.fwt` side file was missing, corrupt, or from the future.
+    DegradedLoads = 9,
 }
 
-const N_COUNTERS: usize = 6;
+const N_COUNTERS: usize = 10;
 
-const COUNTER_NAMES: [&str; N_COUNTERS] =
-    ["solves", "rhs_columns", "col_panels", "row_shards", "workspace_grows", "events_dropped"];
+const COUNTER_NAMES: [&str; N_COUNTERS] = [
+    "solves",
+    "rhs_columns",
+    "col_panels",
+    "row_shards",
+    "workspace_grows",
+    "events_dropped",
+    "solve_retries",
+    "solves_failed",
+    "degraded_applies",
+    "degraded_loads",
+];
 
 #[allow(clippy::declare_interior_mutable_const)] // const used only as array seed
 const ATOMIC_ZERO: AtomicU64 = AtomicU64::new(0);

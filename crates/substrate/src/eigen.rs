@@ -25,8 +25,9 @@ use crate::{SolverError, Substrate};
 use std::cell::RefCell;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use subsparse_layout::Layout;
-use subsparse_linalg::cg::{pcg_with, CgScratch, IdentityPrecond, LinOp};
+use subsparse_linalg::cg::{pcg_with, CgResult, CgScratch, IdentityPrecond, LinOp};
 use subsparse_linalg::dct::{dct2d_with, Dct, Dct2dScratch};
+use subsparse_linalg::trace;
 
 /// Configuration for [`EigenSolver`].
 #[derive(Clone, Copy, Debug)]
@@ -278,7 +279,15 @@ impl EigenSolver {
     /// Panics if `contact_voltages.len() != n_contacts`.
     pub fn solve_panels(&self, contact_voltages: &[f64]) -> Vec<f64> {
         let mut sc = EigenScratch::default();
-        self.solve_panels_with(contact_voltages, &mut sc);
+        let result = self.solve_panels_with(contact_voltages, &mut sc);
+        if !result.converged {
+            trace::add(trace::Counter::SolvesFailed, 1);
+            eprintln!(
+                "warning: eigen solve_panels did not converge (relres {:.3e} after {} \
+                 iterations including retry); returning best-effort panel currents",
+                result.relative_residual, result.iterations
+            );
+        }
         sc.x
     }
 
@@ -287,7 +296,12 @@ impl EigenSolver {
     /// [`EigenScratch`] per worker so a `k`-column batch sets up
     /// `O(threads)` times instead of `k` times. Every buffer is fully
     /// overwritten per solve: bit-identical results.
-    fn solve_panels_with(&self, contact_voltages: &[f64], sc: &mut EigenScratch) {
+    ///
+    /// A solve that misses tolerance within `max_iter` is retried exactly
+    /// once, warm-started from the partial solution, with 4x the budget;
+    /// the returned [`CgResult`] aggregates both attempts (total
+    /// iterations, final convergence state and residual).
+    fn solve_panels_with(&self, contact_voltages: &[f64], sc: &mut EigenScratch) -> CgResult {
         assert_eq!(contact_voltages.len(), self.n_contacts, "voltage vector length mismatch");
         let np = self.panel_list.len();
         sc.rhs.clear();
@@ -295,16 +309,32 @@ impl EigenSolver {
         sc.x.clear();
         sc.x.resize(np, 0.0);
         sc.grid.get_mut().resize(self.p * self.p, 0.0);
-        let op = RestrictedOp { solver: self, grid: &sc.grid, dct: &sc.dct };
-        let result = if self.cfg.jacobi {
-            let pre = JacobiOp { diag: &self.diag };
-            pcg_with(&op, &pre, &sc.rhs, &mut sc.x, self.cfg.tol, self.cfg.max_iter, &mut sc.cg)
-        } else {
-            let id = IdentityPrecond::new(np);
-            pcg_with(&op, &id, &sc.rhs, &mut sc.x, self.cfg.tol, self.cfg.max_iter, &mut sc.cg)
+        let EigenScratch { rhs, x, grid, dct, cg } = sc;
+        let (rhs, grid, dct) = (&*rhs, &*grid, &*dct);
+        let op = RestrictedOp { solver: self, grid, dct };
+        let run = |budget: usize, x: &mut [f64], cg: &mut CgScratch| {
+            if self.cfg.jacobi {
+                let pre = JacobiOp { diag: &self.diag };
+                pcg_with(&op, &pre, rhs, x, self.cfg.tol, budget, cg)
+            } else {
+                let id = IdentityPrecond::new(np);
+                pcg_with(&op, &id, rhs, x, self.cfg.tol, budget, cg)
+            }
         };
+        let mut result = run(self.cfg.max_iter, x, cg);
+        let mut total_iters = result.iterations;
         self.solves.fetch_add(1, Ordering::Relaxed);
-        self.iterations.fetch_add(result.iterations, Ordering::Relaxed);
+        if !result.converged {
+            trace::add(trace::Counter::SolveRetries, 1);
+            result = run(self.cfg.max_iter * crate::solver::RETRY_BUDGET_FACTOR, x, cg);
+            total_iters += result.iterations;
+        }
+        self.iterations.fetch_add(total_iters, Ordering::Relaxed);
+        CgResult {
+            iterations: total_iters,
+            converged: result.converged,
+            relative_residual: result.relative_residual,
+        }
     }
 }
 
@@ -370,12 +400,39 @@ impl EigenSolver {
         contact_voltages: &[f64],
         currents: &mut [f64],
         sc: &mut EigenScratch,
-    ) {
-        self.solve_panels_with(contact_voltages, sc);
+    ) -> Result<(), SolverError> {
+        let result = self.solve_panels_with(contact_voltages, sc);
         currents.fill(0.0);
         for (k, &o) in self.panel_owner.iter().enumerate() {
             currents[o as usize] += sc.x[k];
         }
+        if !result.converged {
+            return Err(SolverError::NotConverged {
+                relres: result.relative_residual,
+                iters: result.iterations,
+            });
+        }
+        if let Some(entry) = currents.iter().position(|c| !c.is_finite()) {
+            return Err(SolverError::NonFinite { entry });
+        }
+        Ok(())
+    }
+
+    /// The shared batch core: every column is solved (best effort); the
+    /// lowest failing column, if any, is reported alongside the matrix.
+    fn solve_batch_impl(
+        &self,
+        voltages: &subsparse_linalg::Mat,
+    ) -> (subsparse_linalg::Mat, Option<crate::solver::ColumnFailure>) {
+        assert_eq!(voltages.n_rows(), self.n_contacts, "voltage block row mismatch");
+        let _t = crate::solver::SolveTrace::begin("solve_batch.eigen", voltages.n_cols());
+        crate::solver::solve_columns_threaded_with(
+            voltages,
+            self.n_contacts,
+            self.cfg.threads,
+            EigenScratch::default,
+            |v, out, sc| self.solve_contacts_one(v, out, sc),
+        )
     }
 }
 
@@ -387,20 +444,48 @@ impl SubstrateSolver for EigenSolver {
     fn solve(&self, contact_voltages: &[f64]) -> Vec<f64> {
         let _t = crate::solver::SolveTrace::begin("solve.eigen", 1);
         let mut currents = vec![0.0; self.n_contacts];
-        self.solve_contacts_one(contact_voltages, &mut currents, &mut EigenScratch::default());
+        if let Err(e) =
+            self.solve_contacts_one(contact_voltages, &mut currents, &mut EigenScratch::default())
+        {
+            trace::add(trace::Counter::SolvesFailed, 1);
+            eprintln!(
+                "warning: eigen solve: {e}; returning best-effort currents \
+                 (use try_solve for a typed error)"
+            );
+        }
         currents
     }
 
     fn solve_batch(&self, voltages: &subsparse_linalg::Mat) -> subsparse_linalg::Mat {
-        assert_eq!(voltages.n_rows(), self.n_contacts, "voltage block row mismatch");
-        let _t = crate::solver::SolveTrace::begin("solve_batch.eigen", voltages.n_cols());
-        crate::solver::solve_columns_threaded_with(
-            voltages,
-            self.n_contacts,
-            self.cfg.threads,
-            EigenScratch::default,
-            |v, out, sc| self.solve_contacts_one(v, out, sc),
-        )
+        let (out, fail) = self.solve_batch_impl(voltages);
+        crate::solver::warn_batch_failure("eigen", fail, out)
+    }
+
+    fn try_solve(&self, contact_voltages: &[f64]) -> Result<Vec<f64>, SolverError> {
+        let _t = crate::solver::SolveTrace::begin("solve.eigen", 1);
+        let mut currents = vec![0.0; self.n_contacts];
+        match self.solve_contacts_one(contact_voltages, &mut currents, &mut EigenScratch::default())
+        {
+            Ok(()) => Ok(currents),
+            Err(e) => {
+                trace::add(trace::Counter::SolvesFailed, 1);
+                Err(e)
+            }
+        }
+    }
+
+    fn try_solve_batch(
+        &self,
+        voltages: &subsparse_linalg::Mat,
+    ) -> Result<subsparse_linalg::Mat, SolverError> {
+        let (out, fail) = self.solve_batch_impl(voltages);
+        match fail {
+            None => Ok(out),
+            Some(f) => {
+                trace::add(trace::Counter::SolvesFailed, 1);
+                Err(f.error)
+            }
+        }
     }
 }
 

@@ -28,7 +28,7 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 use subsparse_layout::Layout;
 use subsparse_linalg::cg::{pcg_with, CgScratch, IdentityPrecond, LinOp};
 use subsparse_linalg::dct::{Dct, DctScratch};
-use subsparse_linalg::tridiag;
+use subsparse_linalg::{trace, tridiag};
 
 /// Where the Dirichlet (contact) nodes sit relative to the top surface
 /// (thesis Fig 2-4).
@@ -506,34 +506,79 @@ impl FdSolver {
     /// preconditioner are built once at construction and only *read* here,
     /// so any number of worker threads can run this concurrently (each with
     /// its own scratch); stats are accumulated atomically.
-    fn solve_one(&self, contact_voltages: &[f64], currents: &mut [f64], sc: &mut FdScratch) {
+    ///
+    /// A solve that misses tolerance within `max_iter` is retried exactly
+    /// once, warm-started from its partial solution, with 4x the budget;
+    /// a still-unconverged or non-finite result surfaces as a typed
+    /// [`SolverError`]. Currents are written either way (best effort).
+    fn solve_one(
+        &self,
+        contact_voltages: &[f64],
+        currents: &mut [f64],
+        sc: &mut FdScratch,
+    ) -> Result<(), SolverError> {
         assert_eq!(contact_voltages.len(), self.n_contacts, "voltage vector length mismatch");
         self.build_rhs_into(contact_voltages, &mut sc.b);
         sc.x.clear();
         sc.x.resize(self.n_nodes(), 0.0);
-        let (b, x, cg) = (&sc.b, &mut sc.x, &mut sc.cg);
+        let FdScratch { b, x, cg, fp } = sc;
+        let (b, fp) = (&*b, &*fp);
         let op = GridOp { s: self };
-        let result = match &self.precond {
+        let run = |budget: usize, x: &mut [f64], cg: &mut CgScratch| match &self.precond {
             PrecondData::None => {
                 let id = IdentityPrecond::new(self.n_nodes());
-                pcg_with(&op, &id, b, x, self.cfg.tol, self.cfg.max_iter, cg)
+                pcg_with(&op, &id, b, x, self.cfg.tol, budget, cg)
             }
             PrecondData::Dic(dhat) => {
                 let pre = DicOp { s: self, dhat };
-                pcg_with(&op, &pre, b, x, self.cfg.tol, self.cfg.max_iter, cg)
+                pcg_with(&op, &pre, b, x, self.cfg.tol, budget, cg)
             }
-            PrecondData::Fast(fp) => {
-                let pre = FastOp { fp, pinned: &self.pinned, scratch: &sc.fp };
-                pcg_with(&op, &pre, b, x, self.cfg.tol, self.cfg.max_iter, cg)
+            PrecondData::Fast(fpd) => {
+                let pre = FastOp { fp: fpd, pinned: &self.pinned, scratch: fp };
+                pcg_with(&op, &pre, b, x, self.cfg.tol, budget, cg)
             }
             PrecondData::Mg(mg) => {
                 let pre = MgOp { mg, n: self.n_nodes() };
-                pcg_with(&op, &pre, b, x, self.cfg.tol, self.cfg.max_iter, cg)
+                pcg_with(&op, &pre, b, x, self.cfg.tol, budget, cg)
             }
         };
+        let mut result = run(self.cfg.max_iter, x, cg);
+        let mut total_iters = result.iterations;
         self.solves.fetch_add(1, Ordering::Relaxed);
-        self.iterations.fetch_add(result.iterations, Ordering::Relaxed);
-        self.contact_currents_into(contact_voltages, &sc.x, currents);
+        if !result.converged {
+            trace::add(trace::Counter::SolveRetries, 1);
+            result = run(self.cfg.max_iter * crate::solver::RETRY_BUDGET_FACTOR, x, cg);
+            total_iters += result.iterations;
+        }
+        self.iterations.fetch_add(total_iters, Ordering::Relaxed);
+        self.contact_currents_into(contact_voltages, x, currents);
+        if !result.converged {
+            return Err(SolverError::NotConverged {
+                relres: result.relative_residual,
+                iters: total_iters,
+            });
+        }
+        if let Some(entry) = currents.iter().position(|c| !c.is_finite()) {
+            return Err(SolverError::NonFinite { entry });
+        }
+        Ok(())
+    }
+
+    /// The shared batch core: every column is solved (best effort); the
+    /// lowest failing column, if any, is reported alongside the matrix.
+    fn solve_batch_impl(
+        &self,
+        voltages: &subsparse_linalg::Mat,
+    ) -> (subsparse_linalg::Mat, Option<crate::solver::ColumnFailure>) {
+        assert_eq!(voltages.n_rows(), self.n_contacts, "voltage block row mismatch");
+        let _t = crate::solver::SolveTrace::begin("solve_batch.fd", voltages.n_cols());
+        crate::solver::solve_columns_threaded_with(
+            voltages,
+            self.n_contacts,
+            self.cfg.threads,
+            FdScratch::default,
+            |v, out, sc| self.solve_one(v, out, sc),
+        )
     }
 }
 
@@ -545,20 +590,45 @@ impl SubstrateSolver for FdSolver {
     fn solve(&self, contact_voltages: &[f64]) -> Vec<f64> {
         let _t = crate::solver::SolveTrace::begin("solve.fd", 1);
         let mut currents = vec![0.0; self.n_contacts];
-        self.solve_one(contact_voltages, &mut currents, &mut FdScratch::default());
+        if let Err(e) = self.solve_one(contact_voltages, &mut currents, &mut FdScratch::default()) {
+            trace::add(trace::Counter::SolvesFailed, 1);
+            eprintln!(
+                "warning: fd solve: {e}; returning best-effort currents \
+                 (use try_solve for a typed error)"
+            );
+        }
         currents
     }
 
     fn solve_batch(&self, voltages: &subsparse_linalg::Mat) -> subsparse_linalg::Mat {
-        assert_eq!(voltages.n_rows(), self.n_contacts, "voltage block row mismatch");
-        let _t = crate::solver::SolveTrace::begin("solve_batch.fd", voltages.n_cols());
-        crate::solver::solve_columns_threaded_with(
-            voltages,
-            self.n_contacts,
-            self.cfg.threads,
-            FdScratch::default,
-            |v, out, sc| self.solve_one(v, out, sc),
-        )
+        let (out, fail) = self.solve_batch_impl(voltages);
+        crate::solver::warn_batch_failure("fd", fail, out)
+    }
+
+    fn try_solve(&self, contact_voltages: &[f64]) -> Result<Vec<f64>, SolverError> {
+        let _t = crate::solver::SolveTrace::begin("solve.fd", 1);
+        let mut currents = vec![0.0; self.n_contacts];
+        match self.solve_one(contact_voltages, &mut currents, &mut FdScratch::default()) {
+            Ok(()) => Ok(currents),
+            Err(e) => {
+                trace::add(trace::Counter::SolvesFailed, 1);
+                Err(e)
+            }
+        }
+    }
+
+    fn try_solve_batch(
+        &self,
+        voltages: &subsparse_linalg::Mat,
+    ) -> Result<subsparse_linalg::Mat, SolverError> {
+        let (out, fail) = self.solve_batch_impl(voltages);
+        match fail {
+            None => Ok(out),
+            Some(f) => {
+                trace::add(trace::Counter::SolvesFailed, 1);
+                Err(f.error)
+            }
+        }
     }
 }
 

@@ -197,6 +197,23 @@ pub enum SolverError {
     /// current mode has infinite impedance otherwise, thesis §2.3.1); add a
     /// thin resistive bottom layer to emulate a floating backplane.
     FloatingBackplaneUnsupported,
+    /// An iterative solve missed its relative-residual tolerance even
+    /// after the bounded retry (one warm-started re-run at 4x the
+    /// iteration budget). Surfaced by
+    /// [`SubstrateSolver::try_solve`] / [`try_solve_batch`](SubstrateSolver::try_solve_batch);
+    /// the infallible paths warn and return best-effort currents instead.
+    NotConverged {
+        /// Final `||b - A x|| / ||b||` of the failing solve.
+        relres: f64,
+        /// Total inner iterations spent on the failing column (initial
+        /// attempt plus retry).
+        iters: usize,
+    },
+    /// A solve produced NaN or +-Inf contact currents.
+    NonFinite {
+        /// Index of the first non-finite output entry.
+        entry: usize,
+    },
 }
 
 impl fmt::Display for SolverError {
@@ -219,6 +236,14 @@ impl fmt::Display for SolverError {
                 f,
                 "eigenfunction solver requires a grounded backplane (use a resistive bottom layer)"
             ),
+            SolverError::NotConverged { relres, iters } => write!(
+                f,
+                "solve did not converge: relative residual {relres:.3e} after {iters} \
+                 iterations (including the bounded retry)"
+            ),
+            SolverError::NonFinite { entry } => {
+                write!(f, "solve produced a non-finite current at entry {entry}")
+            }
         }
     }
 }

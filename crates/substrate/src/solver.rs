@@ -113,6 +113,23 @@ impl BatchOptions {
 // historically imported it from this module.
 pub use subsparse_linalg::resolve_threads;
 
+use crate::SolverError;
+
+/// Iteration-budget multiplier for the bounded retry: an iterative solve
+/// that misses tolerance within its `max_iter` budget is re-run exactly
+/// once, warm-started from the partial solution, with this multiple of
+/// the budget before the failure surfaces as
+/// [`SolverError::NotConverged`].
+pub(crate) const RETRY_BUDGET_FACTOR: usize = 4;
+
+/// A column failure recorded while a batch kept solving its remaining
+/// columns: the lowest failing column index and its error.
+#[derive(Clone, Debug)]
+pub(crate) struct ColumnFailure {
+    pub(crate) column: usize,
+    pub(crate) error: SolverError,
+}
+
 /// A black-box substrate solver: given the `n` contact voltages, returns
 /// the `n` contact currents (current *into* each contact from the circuit).
 pub trait SubstrateSolver {
@@ -148,6 +165,24 @@ pub trait SubstrateSolver {
         }
         out
     }
+
+    /// [`solve`](Self::solve) with typed failure reporting instead of a
+    /// best-effort result: iterative backends return
+    /// [`SolverError::NotConverged`] when the inner solve (plus its
+    /// bounded retry) misses tolerance, and [`SolverError::NonFinite`]
+    /// when the currents contain NaN/Inf. Direct backends never fail; the
+    /// default forwards to `solve`.
+    fn try_solve(&self, contact_voltages: &[f64]) -> Result<Vec<f64>, SolverError> {
+        Ok(self.solve(contact_voltages))
+    }
+
+    /// [`solve_batch`](Self::solve_batch) with typed failure reporting:
+    /// returns the error of the lowest-indexed failing column. All
+    /// columns are still solved (the batch does not bail early), so cost
+    /// accounting matches the infallible path exactly.
+    fn try_solve_batch(&self, voltages: &Mat) -> Result<Mat, SolverError> {
+        Ok(self.solve_batch(voltages))
+    }
 }
 
 impl<T: SubstrateSolver + ?Sized> SubstrateSolver for &T {
@@ -160,6 +195,12 @@ impl<T: SubstrateSolver + ?Sized> SubstrateSolver for &T {
     fn solve_batch(&self, voltages: &Mat) -> Mat {
         // forward explicitly so wrapper chains keep the backend override
         (**self).solve_batch(voltages)
+    }
+    fn try_solve(&self, contact_voltages: &[f64]) -> Result<Vec<f64>, SolverError> {
+        (**self).try_solve(contact_voltages)
+    }
+    fn try_solve_batch(&self, voltages: &Mat) -> Result<Mat, SolverError> {
+        (**self).try_solve_batch(voltages)
     }
 }
 
@@ -175,6 +216,12 @@ impl<T: SubstrateSolver + ?Sized> SubstrateSolver for &T {
 /// a serial loop. Shared by the FD and eigenfunction `solve_batch`
 /// overrides.
 ///
+/// A failing column does **not** stop the batch: every column is solved
+/// (each writes its best-effort output), and the failure of the
+/// lowest-indexed failing column is returned alongside the matrix — so
+/// the error surfaced is deterministic regardless of worker scheduling,
+/// and cost accounting matches the all-success path exactly.
+///
 /// This is how the iterative backends amortize their per-solve setup
 /// (PCG work vectors, RHS/solution buffers, preconditioner scratch) across
 /// a batch without sharing anything between workers: allocation cost is
@@ -187,36 +234,62 @@ pub(crate) fn solve_columns_threaded_with<St, M, F>(
     threads: usize,
     make_state: M,
     solve_one: F,
-) -> Mat
+) -> (Mat, Option<ColumnFailure>)
 where
     M: Fn() -> St + Sync,
-    F: Fn(&[f64], &mut [f64], &mut St) + Sync,
+    F: Fn(&[f64], &mut [f64], &mut St) -> Result<(), SolverError> + Sync,
 {
     let n_cols = voltages.n_cols();
     let mut out = Mat::zeros(n_out, n_cols);
     let threads = resolve_threads(threads).min(n_cols).max(1);
+    let failure = std::sync::Mutex::new(None::<ColumnFailure>);
+    let record = |column: usize, error: SolverError| {
+        let mut slot = failure.lock().unwrap();
+        if slot.as_ref().map_or(true, |f| column < f.column) {
+            *slot = Some(ColumnFailure { column, error });
+        }
+    };
     if threads == 1 {
         let mut state = make_state();
         for (j, col) in out.cols_mut().enumerate() {
-            solve_one(voltages.col(j), col, &mut state);
+            if let Err(e) = solve_one(voltages.col(j), col, &mut state) {
+                record(j, e);
+            }
         }
-        return out;
+        return (out, failure.into_inner().unwrap());
     }
     let mut buckets: Vec<Vec<(usize, &mut [f64])>> = (0..threads).map(|_| Vec::new()).collect();
     for (j, col) in out.cols_mut().enumerate() {
         buckets[j % threads].push((j, col));
     }
-    let (solve_one, make_state) = (&solve_one, &make_state);
+    let (solve_one, make_state, record) = (&solve_one, &make_state, &record);
     std::thread::scope(|scope| {
         for bucket in buckets {
             scope.spawn(move || {
                 let mut state = make_state();
                 for (j, col) in bucket {
-                    solve_one(voltages.col(j), col, &mut state);
+                    if let Err(e) = solve_one(voltages.col(j), col, &mut state) {
+                        record(j, e);
+                    }
                 }
             });
         }
     });
+    (out, failure.into_inner().unwrap())
+}
+
+/// Shared tail of the iterative backends' infallible batch paths: warn
+/// once per batch, count the failure, and hand back the best-effort
+/// matrix.
+pub(crate) fn warn_batch_failure(backend: &str, fail: Option<ColumnFailure>, out: Mat) -> Mat {
+    if let Some(f) = fail {
+        trace::add(trace::Counter::SolvesFailed, 1);
+        eprintln!(
+            "warning: {backend} solve_batch column {}: {}; returning best-effort currents \
+             (use try_solve_batch for a typed error)",
+            f.column, f.error
+        );
+    }
     out
 }
 
@@ -346,6 +419,15 @@ impl<S: SubstrateSolver> SubstrateSolver for CountingSolver<S> {
         // a batch of k columns costs k black-box solves
         self.count.fetch_add(voltages.n_cols(), Ordering::Relaxed);
         self.inner.solve_batch(voltages)
+    }
+    fn try_solve(&self, contact_voltages: &[f64]) -> Result<Vec<f64>, SolverError> {
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.inner.try_solve(contact_voltages)
+    }
+    fn try_solve_batch(&self, voltages: &Mat) -> Result<Mat, SolverError> {
+        // failed solves still cost solves
+        self.count.fetch_add(voltages.n_cols(), Ordering::Relaxed);
+        self.inner.try_solve_batch(voltages)
     }
 }
 
