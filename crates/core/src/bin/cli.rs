@@ -109,7 +109,43 @@ APPLY OPTIONS (serving):
                       bit-identical for every T, speedup needs cores
   --trace FILE        record spans/counters/latency histograms, write a
                       chrome://tracing JSON to FILE, print the summary
+
+FAULT INJECTION (all commands; for hardening tests, not production):
+  --faults SPEC       arm named failpoints for this run and print the
+                      hit/fired summary on exit. SPEC is a comma list of
+                      name=off|once|always|every:N|prob:P entries, e.g.
+                      `pool.worker_panic=once,solve.stall=prob:0.1/20`
+                      (`/MS` sets the stall in milliseconds). Points:
+                      load.truncate load.bitflip solve.no_converge
+                      solve.poison_nan solve.stall pool.worker_panic
+                      fwt.worker_panic. The SUBSPARSE_FAULTS environment
+                      variable uses the same grammar; --faults wins.
 ";
+
+/// `--faults SPEC` (or the `SUBSPARSE_FAULTS` environment variable):
+/// arms the named failpoints for this run and returns whether any are
+/// active, so the exit path can print the fired-failpoint summary.
+fn faults_begin(opts: &Opts) -> Result<bool, String> {
+    let env_armed = subsparse::faults::init_from_env()
+        .map_err(|e| format!("bad {}: {e}", subsparse::faults::ENV_VAR))?;
+    match opts.get("faults") {
+        None => Ok(env_armed),
+        Some(spec) => {
+            subsparse::faults::configure_spec(spec)
+                .map_err(|e| format!("bad --faults spec: {e}"))?;
+            Ok(true)
+        }
+    }
+}
+
+/// Prints how often each armed failpoint was hit and fired, then
+/// disarms everything; no-op when no failpoint was armed.
+fn faults_finish(armed: bool) {
+    if armed {
+        print!("{}", subsparse::faults::summary());
+        subsparse::faults::reset();
+    }
+}
 
 /// `--trace FILE`: turns the recorder on and returns the output path
 /// (None leaves tracing disabled — the no-op fast path).
@@ -206,6 +242,7 @@ fn parse_substrate(spec: &str, backplane: Backplane) -> Result<Substrate, String
 
 fn cmd_extract(args: &[String]) -> Result<(), String> {
     let opts = Opts::parse(args)?;
+    let faults_armed = faults_begin(&opts)?;
     let trace_path = trace_begin(&opts);
     let layout_path = opts.require("layout")?;
     let out = PathBuf::from(opts.require("out")?);
@@ -307,6 +344,7 @@ fn cmd_extract(args: &[String]) -> Result<(), String> {
     } else {
         println!("wrote {}.q.mtx and {}.gw.mtx", out.display(), out.display());
     }
+    faults_finish(faults_armed);
     trace_finish(trace_path)
 }
 
@@ -314,6 +352,7 @@ fn cmd_extract(args: &[String]) -> Result<(), String> {
 /// `Sparsifier` trait and grade them with the shared evaluation harness.
 fn cmd_sparsify(args: &[String]) -> Result<(), String> {
     let opts = Opts::parse(args)?;
+    let faults_armed = faults_begin(&opts)?;
     let trace_path = trace_begin(&opts);
     let extent: f64 = opts.get_parsed("extent", 128.0)?;
     let grid: usize = opts.get_parsed("grid", 16)?;
@@ -395,11 +434,13 @@ fn cmd_sparsify(args: &[String]) -> Result<(), String> {
             println!("  {:<10} {}", method.name(), method.summary());
         }
     }
+    faults_finish(faults_armed);
     trace_finish(trace_path)
 }
 
 fn cmd_info(args: &[String]) -> Result<(), String> {
     let opts = Opts::parse(args)?;
+    let faults_armed = faults_begin(&opts)?;
     let stem = PathBuf::from(opts.require("model")?);
     let rep = BasisRep::load(&stem).map_err(|e| format!("loading model: {e}"))?;
     // everything below goes through the CouplingOp trait — inspection
@@ -408,11 +449,13 @@ fn cmd_info(args: &[String]) -> Result<(), String> {
     println!("model {}:", stem.display());
     println!("  {}", subsparse::spy::op_summary(op));
     println!("  dense G size: {} entries", op.n() * op.n());
+    faults_finish(faults_armed);
     Ok(())
 }
 
 fn cmd_apply(args: &[String]) -> Result<(), String> {
     let opts = Opts::parse(args)?;
+    let faults_armed = faults_begin(&opts)?;
     let trace_path = trace_begin(&opts);
     let stem = PathBuf::from(opts.require("model")?);
     let contact: usize =
@@ -447,6 +490,7 @@ fn cmd_apply(args: &[String]) -> Result<(), String> {
         for (k, val) in i.iter().enumerate() {
             println!("{k:>8} {val:+.6e}");
         }
+        faults_finish(faults_armed);
         return trace_finish(trace_path);
     }
 
@@ -479,5 +523,6 @@ fn cmd_apply(args: &[String]) -> Result<(), String> {
             t.apply_block_ns / t.apply_block_threaded_ns,
         );
     }
+    faults_finish(faults_armed);
     trace_finish(trace_path)
 }

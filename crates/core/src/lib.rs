@@ -135,3 +135,9 @@ pub use subsparse_substrate::{Backplane, Layer, Substrate, SubstrateSolver};
 /// the extraction and serving hot paths (re-export of
 /// [`subsparse_linalg::trace`]).
 pub use subsparse_linalg::trace;
+
+/// Zero-dependency fault injection: named failpoints at the fragile
+/// seams (model reads, solver outputs, pool and FWT workers),
+/// configurable from code, a spec string, or `SUBSPARSE_FAULTS`
+/// (re-export of [`subsparse_linalg::faults`]).
+pub use subsparse_linalg::faults;

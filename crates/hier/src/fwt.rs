@@ -48,9 +48,11 @@
 //! bit-identical to looped per-vector transforms — the same contract the
 //! rest of the serving layer keeps.
 
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, Ordering};
 use subsparse_linalg::kernels::{dot4, fused_axpy4};
 use subsparse_linalg::op::resolve_threads;
-use subsparse_linalg::{trace, Mat};
+use subsparse_linalg::{faults, trace, Mat};
 
 /// One square's transform step.
 ///
@@ -965,32 +967,65 @@ impl FwtLevelExec {
                 let chunks = partition_by_stored(&level.nodes, workers);
                 self.ensure_slots(chunks.len(), fwt, b);
                 let cur_r: &Mat = cur;
+                let poisoned = AtomicBool::new(false);
                 std::thread::scope(|scope| {
                     for (k, (slot, &(n0, n1))) in
                         self.slots[..chunks.len()].iter_mut().zip(&chunks).enumerate()
                     {
+                        let poisoned = &poisoned;
                         scope.spawn(move || {
                             let _w = trace::span_track(
                                 "fwt.worker.forward_level",
                                 trace::worker_track(k),
                                 li as u64,
                             );
-                            for node in &level.nodes[n0..n1] {
-                                for j in 0..b {
-                                    fwt.forward_node(
-                                        li,
-                                        at_root,
-                                        node,
-                                        x.col(j),
-                                        slot.out.col_mut(j),
-                                        cur_r.col(j),
-                                        slot.next.col_mut(j),
-                                    );
+                            let work = catch_unwind(AssertUnwindSafe(|| {
+                                if faults::enabled()
+                                    && faults::fire(faults::Failpoint::FwtWorkerPanic)
+                                {
+                                    panic!("injected fault: fwt.worker_panic");
                                 }
+                                for node in &level.nodes[n0..n1] {
+                                    for j in 0..b {
+                                        fwt.forward_node(
+                                            li,
+                                            at_root,
+                                            node,
+                                            x.col(j),
+                                            slot.out.col_mut(j),
+                                            cur_r.col(j),
+                                            slot.next.col_mut(j),
+                                        );
+                                    }
+                                }
+                            }));
+                            if work.is_err() {
+                                poisoned.store(true, Ordering::Relaxed);
                             }
                         });
                     }
                 });
+                if poisoned.load(Ordering::Relaxed) {
+                    // a worker's staging is suspect; nothing was published
+                    // yet, so recompute the whole level through the serial
+                    // per-node kernel — bit-identical by construction
+                    degraded_level("forward", li);
+                    for node in &level.nodes {
+                        for j in 0..b {
+                            fwt.forward_node(
+                                li,
+                                at_root,
+                                node,
+                                x.col(j),
+                                out.col_mut(j),
+                                cur.col(j),
+                                next.col_mut(j),
+                            );
+                        }
+                    }
+                    std::mem::swap(&mut cur, &mut next);
+                    continue;
+                }
                 // publish after the level barrier: each chunk's scaling
                 // run (contiguous by the from_parts invariant) and
                 // wavelet ranges, copied verbatim from its staging
@@ -1061,32 +1096,62 @@ impl FwtLevelExec {
                 let chunks = partition_by_stored(&level.nodes, workers);
                 self.ensure_slots(chunks.len(), fwt, b);
                 let cur_r: &Mat = cur;
+                let poisoned = AtomicBool::new(false);
                 std::thread::scope(|scope| {
                     for (k, (slot, &(n0, n1))) in
                         self.slots[..chunks.len()].iter_mut().zip(&chunks).enumerate()
                     {
+                        let poisoned = &poisoned;
                         scope.spawn(move || {
                             let _w = trace::span_track(
                                 "fwt.worker.inverse_level",
                                 trace::worker_track(k),
                                 li as u64,
                             );
-                            for node in &level.nodes[n0..n1] {
-                                for j in 0..b {
-                                    fwt.inverse_node(
-                                        li,
-                                        at_root,
-                                        node,
-                                        c.col(j),
-                                        slot.out.col_mut(j),
-                                        cur_r.col(j),
-                                        slot.next.col_mut(j),
-                                    );
+                            let work = catch_unwind(AssertUnwindSafe(|| {
+                                if faults::enabled()
+                                    && faults::fire(faults::Failpoint::FwtWorkerPanic)
+                                {
+                                    panic!("injected fault: fwt.worker_panic");
                                 }
+                                for node in &level.nodes[n0..n1] {
+                                    for j in 0..b {
+                                        fwt.inverse_node(
+                                            li,
+                                            at_root,
+                                            node,
+                                            c.col(j),
+                                            slot.out.col_mut(j),
+                                            cur_r.col(j),
+                                            slot.next.col_mut(j),
+                                        );
+                                    }
+                                }
+                            }));
+                            if work.is_err() {
+                                poisoned.store(true, Ordering::Relaxed);
                             }
                         });
                     }
                 });
+                if poisoned.load(Ordering::Relaxed) {
+                    degraded_level("inverse", li);
+                    for node in &level.nodes {
+                        for j in 0..b {
+                            fwt.inverse_node(
+                                li,
+                                at_root,
+                                node,
+                                c.col(j),
+                                x.col_mut(j),
+                                cur.col(j),
+                                next.col_mut(j),
+                            );
+                        }
+                    }
+                    std::mem::swap(&mut cur, &mut next);
+                    continue;
+                }
                 for (slot, &(n0, n1)) in self.slots[..chunks.len()].iter().zip(&chunks) {
                     for node in &level.nodes[n0..n1] {
                         for j in 0..b {
@@ -1113,6 +1178,21 @@ impl FwtLevelExec {
             std::mem::swap(&mut cur, &mut next);
         }
     }
+}
+
+/// The degraded-path bookkeeping after a level worker panic: counted in
+/// `degraded_applies`, visible as a `fwt.degraded_serial_level` trace
+/// event, and warned once per occurrence. The caller recomputes the
+/// level through the serial per-node kernel, which is bit-identical to
+/// what the workers would have published.
+#[cold]
+fn degraded_level(direction: &str, li: usize) {
+    trace::add(trace::Counter::DegradedApplies, 1);
+    let _s = trace::span_arg("fwt.degraded_serial_level", li as u64);
+    eprintln!(
+        "warning: an fwt {direction} level worker panicked; recomputing level {li} serially \
+         (result is bit-identical, see the degraded_applies counter)"
+    );
 }
 
 /// Cuts a level's Morton-ordered nodes into at most `workers` contiguous

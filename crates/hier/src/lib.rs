@@ -19,5 +19,5 @@ pub mod rep;
 pub mod tree;
 
 pub use fwt::{FastWaveletTransform, FwtLevel, FwtLevelExec, FwtNode};
-pub use rep::{BasisRep, SymmetricAccumulator, FORMAT_VERSION};
+pub use rep::{BasisRep, ModelLoadError, SymmetricAccumulator, FORMAT_VERSION};
 pub use tree::{HierError, Quadtree, Square};

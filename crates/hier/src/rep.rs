@@ -23,7 +23,8 @@
 //! Thresholding `Gw` trades accuracy for more sparsity (the `Gwt` of the
 //! thesis tables).
 
-use subsparse_linalg::{trace, ApplyWorkspace, CouplingOp, Csr, Mat, Triplets};
+use subsparse_linalg::io::{fnv1a64, ReadMatrixError};
+use subsparse_linalg::{faults, trace, ApplyWorkspace, CouplingOp, Csr, Mat, Triplets};
 
 use crate::fwt::FastWaveletTransform;
 
@@ -41,8 +42,100 @@ pub use subsparse_linalg::SymmetricAccumulator;
 ///   `<stem>.gw.mtx` (still written for representations without a fast
 ///   transform, so old readers keep working on them);
 /// * format 2 — additionally a `<stem>.fwt` side file carrying the block
-///   hierarchy of the [`FastWaveletTransform`] serving path.
-pub const FORMAT_VERSION: u8 = 2;
+///   hierarchy of the [`FastWaveletTransform`] serving path;
+/// * format 3 — every section carries an FNV-1a-64 integrity digest
+///   (`% subsparse digest fnv1a64 <hex>` comment in the `.mtx` factors, a
+///   digest line after the `.fwt` header), verified on load *before* any
+///   structural validation, so corrupted or truncated artifacts surface
+///   as a typed [`ModelLoadError`] instead of a downstream panic or a
+///   silently wrong model. The digest line is an ordinary Matrix Market
+///   comment, so format-1 files (written for fwt-less representations)
+///   carry it too without breaking pre-FWT readers.
+pub const FORMAT_VERSION: u8 = 3;
+
+/// A model artifact [`BasisRep::load`] could not turn into a servable
+/// representation. Every failure mode of a load — unreadable files,
+/// integrity-digest mismatches, truncation, files from a newer format,
+/// malformed content, mutually inconsistent sections — converges here;
+/// loading never panics on bad bytes.
+#[derive(Debug)]
+pub enum ModelLoadError {
+    /// Reading a model file failed at the I/O layer.
+    Io {
+        /// The offending file.
+        file: String,
+        /// The underlying error.
+        source: std::io::Error,
+    },
+    /// A section's integrity digest does not match its bytes: the
+    /// artifact was corrupted (bit rot, partial overwrite, editing)
+    /// after it was saved.
+    Corrupt {
+        /// The offending file.
+        file: String,
+        /// The digest recorded at save time.
+        expected: u64,
+        /// The digest of the bytes actually on disk.
+        actual: u64,
+    },
+    /// A section ends before all its stated content — a cut-off copy or
+    /// partially written save.
+    Truncated {
+        /// The offending file.
+        file: String,
+        /// What is missing.
+        detail: String,
+    },
+    /// A section is stamped with a format newer than this build reads.
+    Version {
+        /// The offending file.
+        file: String,
+        /// The stamped version.
+        version: u8,
+    },
+    /// A section's content does not parse.
+    Malformed {
+        /// The offending file.
+        file: String,
+        /// What went wrong.
+        detail: String,
+    },
+    /// Sections are individually well-formed but mutually inconsistent.
+    Structure {
+        /// What disagrees.
+        detail: String,
+    },
+}
+
+impl std::fmt::Display for ModelLoadError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ModelLoadError::Io { file, source } => write!(f, "{file}: {source}"),
+            ModelLoadError::Corrupt { file, expected, actual } => write!(
+                f,
+                "{file}: integrity digest mismatch \
+                 (saved {expected:016x}, bytes on disk hash to {actual:016x})"
+            ),
+            ModelLoadError::Truncated { file, detail } => write!(f, "{file}: truncated: {detail}"),
+            ModelLoadError::Version { file, version } => write!(
+                f,
+                "{file}: written with basisrep format {version}, \
+                 but this build reads at most {FORMAT_VERSION}"
+            ),
+            ModelLoadError::Malformed { file, detail } => write!(f, "{file}: {detail}"),
+            ModelLoadError::Structure { detail } => write!(f, "{detail}"),
+        }
+    }
+}
+
+impl std::error::Error for ModelLoadError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ModelLoadError::Io { source, .. } => Some(source),
+            _ => None,
+        }
+    }
+}
 
 /// A sparse `G ~ Q Gw Q'` representation.
 ///
@@ -289,35 +382,38 @@ impl BasisRep {
     /// circuit simulator), plus — when the representation serves through a
     /// fast wavelet transform — a `<stem>.fwt` side file carrying the
     /// block hierarchy, so a reloaded model keeps the `O(n·p)` serving
-    /// path. Each file carries a [`FORMAT_VERSION`]-style tag in its
-    /// header so future changes to the serialization can be detected
-    /// instead of silently misread; representations without a transform
-    /// are stamped as format 1, which pre-FWT readers still accept.
+    /// path. Each file carries a [`FORMAT_VERSION`]-style tag and an
+    /// FNV-1a-64 integrity digest in its header so corruption and future
+    /// format changes are detected instead of silently misread;
+    /// representations without a transform are stamped as format 1
+    /// (digest comment included — pre-FWT readers skip it as an ordinary
+    /// comment).
     ///
     /// # Errors
     ///
     /// Returns any I/O error from writing the files.
     pub fn save(&self, stem: &std::path::Path) -> std::io::Result<()> {
-        // format 1 files are bit-compatible with pre-FWT builds, so only
-        // claim format 2 when the fwt section is actually written
+        // format 1 files stay readable by pre-FWT builds, so only claim
+        // the current format when the fwt section is actually written
         let version_no = if self.fwt.is_some() { FORMAT_VERSION } else { 1 };
         let version = format!("subsparse basisrep format {version_no}");
         let write = |suffix: &str, m: &Csr| -> std::io::Result<()> {
-            let f = std::fs::File::create(stem_path(stem, suffix))?;
-            subsparse_linalg::io::write_matrix_market_commented(
-                m,
-                &[&version],
-                std::io::BufWriter::new(f),
-            )
+            let mut canonical = Vec::new();
+            subsparse_linalg::io::write_matrix_market_commented(m, &[&version], &mut canonical)?;
+            std::fs::write(stem_path(stem, suffix), with_digest_line(&canonical))
         };
         write(".q.mtx", &self.q)?;
         write(".gw.mtx", &self.gw)?;
         let fwt_path = stem_path(stem, ".fwt");
         match &self.fwt {
             Some(fwt) => {
-                let body =
-                    format!("subsparse basisrep fwt section {version_no}\n{}", fwt.to_text());
-                std::fs::write(fwt_path, body)?;
+                let body = fwt.to_text();
+                let digest = fnv1a64(body.as_bytes());
+                let text = format!(
+                    "subsparse basisrep fwt section {version_no}\n\
+                     % subsparse digest fnv1a64 {digest:016x}\n{body}"
+                );
+                std::fs::write(fwt_path, text)?;
             }
             None => {
                 // a stale side file from an earlier save would otherwise
@@ -336,67 +432,69 @@ impl BasisRep {
     ///
     /// Models carrying a `<stem>.fwt` section come back on the fast
     /// wavelet transform serving path; legacy (format 1) models without
-    /// one load onto the explicit-CSR fallback.
+    /// one load onto the explicit-CSR fallback. Integrity digests (format
+    /// 3) are verified *before* any structural validation; files without
+    /// a digest or version tag (older saves) skip those checks and load
+    /// as before.
+    ///
+    /// An unusable `.fwt` side file — corrupt, truncated, from a newer
+    /// format, or inconsistent with the factors — does **not** refuse the
+    /// model: the factors alone are a complete representation, so the
+    /// load *degrades* to the explicit-CSR serving path with a warning
+    /// (and a bump of the `degraded_loads` trace counter) instead of
+    /// failing. Only the factor files themselves are load-fatal.
     ///
     /// # Errors
     ///
-    /// Returns an error if either factor file is missing or malformed,
-    /// any file is stamped with a format version newer than
-    /// [`FORMAT_VERSION`], the factor shapes are inconsistent, or the fwt
-    /// section fails structural validation. Files without a version tag
-    /// (written before tagging existed) load as format 1.
-    pub fn load(stem: &std::path::Path) -> std::io::Result<BasisRep> {
-        let read = |suffix: &str| -> std::io::Result<Csr> {
+    /// Returns a [`ModelLoadError`] naming the offending file if either
+    /// factor is missing, fails its digest, is truncated, is stamped with
+    /// a format newer than [`FORMAT_VERSION`], does not parse, or the
+    /// factor shapes are mutually inconsistent.
+    pub fn load(stem: &std::path::Path) -> Result<BasisRep, ModelLoadError> {
+        let read = |suffix: &str| -> Result<Csr, ModelLoadError> {
             let path = stem_path(stem, suffix);
-            // peek only the leading comment block for the version tag,
-            // then stream the actual parse — no whole-file buffering
-            check_format_version(&read_comment_header(&path)?)?;
-            let f = std::fs::File::open(&path)?;
-            subsparse_linalg::io::read_matrix_market(std::io::BufReader::new(f))
-                .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e.to_string()))
+            let file = path.display().to_string();
+            let text = read_model_text(&path)?;
+            // integrity before structure: a digest mismatch is reported
+            // as corruption even when the damage also breaks the parse
+            verify_digest(&file, &text)?;
+            check_format_version(&file, &text)?;
+            subsparse_linalg::io::read_matrix_market(text.as_bytes()).map_err(|e| match e {
+                ReadMatrixError::Truncated { expected, got } => ModelLoadError::Truncated {
+                    file: file.clone(),
+                    detail: format!("size line promises {expected} entries, found {got}"),
+                },
+                other => {
+                    ModelLoadError::Malformed { file: file.clone(), detail: other.to_string() }
+                }
+            })
         };
         let q = read(".q.mtx")?;
         let gw = read(".gw.mtx")?;
         if q.n_cols() != gw.n_rows() || gw.n_rows() != gw.n_cols() {
-            return Err(std::io::Error::new(
-                std::io::ErrorKind::InvalidData,
-                format!(
+            return Err(ModelLoadError::Structure {
+                detail: format!(
                     "inconsistent factor shapes: Q is {}x{}, Gw is {}x{}",
                     q.n_rows(),
                     q.n_cols(),
                     gw.n_rows(),
                     gw.n_cols()
                 ),
-            ));
+            });
         }
-        let invalid = |msg: String| std::io::Error::new(std::io::ErrorKind::InvalidData, msg);
-        match std::fs::read_to_string(stem_path(stem, ".fwt")) {
-            Err(e) if e.kind() == std::io::ErrorKind::NotFound => Ok(BasisRep::new(q, gw)),
-            Err(e) => Err(e),
-            Ok(text) => {
-                let (header, body) = text.split_once('\n').unwrap_or((text.as_str(), ""));
-                let tag = header
-                    .trim()
-                    .strip_prefix("subsparse basisrep fwt section ")
-                    .ok_or_else(|| invalid("fwt section is missing its header".into()))?;
-                let version: u8 =
-                    tag.parse().map_err(|_| invalid(format!("malformed fwt tag {header:?}")))?;
-                if version > FORMAT_VERSION {
-                    return Err(invalid(format!(
-                        "model written with basisrep format {version}, \
-                         but this build reads at most {FORMAT_VERSION}"
-                    )));
-                }
-                let fwt = FastWaveletTransform::from_text(body).map_err(invalid)?;
-                if fwt.n() != q.n_rows() || q.n_rows() != q.n_cols() {
-                    return Err(invalid(format!(
-                        "fwt section is for {} contacts, but Q is {}x{}",
-                        fwt.n(),
-                        q.n_rows(),
-                        q.n_cols()
-                    )));
-                }
-                Ok(BasisRep::with_fwt(q, gw, fwt))
+        match load_fwt_section(stem, &q) {
+            Ok(Some(fwt)) => Ok(BasisRep::with_fwt(q, gw, fwt)),
+            Ok(None) => Ok(BasisRep::new(q, gw)),
+            Err(e) => {
+                // the factors are intact, so degrade instead of refusing:
+                // the explicit-CSR path serves the same operator, just
+                // slower
+                trace::add(trace::Counter::DegradedLoads, 1);
+                eprintln!(
+                    "warning: unusable fwt side file ({e}); \
+                     serving this model through the explicit-CSR fallback path"
+                );
+                Ok(BasisRep::new(q, gw))
             }
         }
     }
@@ -543,55 +641,157 @@ fn stem_path(stem: &std::path::Path, suffix: &str) -> std::path::PathBuf {
     std::path::PathBuf::from(path)
 }
 
-/// Reads just the leading comment block (`%` lines and blanks) of a saved
-/// model file — the only place a format tag can live — so version
-/// checking never buffers the entry data.
-fn read_comment_header(path: &std::path::Path) -> std::io::Result<String> {
-    use std::io::BufRead as _;
-    let mut rdr = std::io::BufReader::new(std::fs::File::open(path)?);
-    let mut header = String::new();
-    let mut line = String::new();
-    loop {
-        line.clear();
-        if rdr.read_line(&mut line)? == 0 {
-            break;
+/// Reads a model file's bytes into text, with the two load failpoints
+/// (`load.truncate`, `load.bitflip`) injected between the read and the
+/// decode — exactly where a cut-off copy or bit rot would corrupt a real
+/// artifact, upstream of every integrity check.
+fn read_model_text(path: &std::path::Path) -> Result<String, ModelLoadError> {
+    let file = path.display().to_string();
+    let mut bytes =
+        std::fs::read(path).map_err(|source| ModelLoadError::Io { file: file.clone(), source })?;
+    if faults::enabled() {
+        if faults::fire(faults::Failpoint::LoadTruncate) {
+            bytes.truncate(bytes.len() / 2);
         }
-        if !(line.starts_with('%') || line.trim().is_empty()) {
-            break;
+        if faults::fire(faults::Failpoint::LoadBitflip) && !bytes.is_empty() {
+            let mid = bytes.len() / 2;
+            bytes[mid] ^= 0x08;
         }
-        header.push_str(&line);
     }
-    Ok(header)
+    String::from_utf8(bytes)
+        .map_err(|_| ModelLoadError::Malformed { file, detail: "not valid UTF-8".into() })
+}
+
+/// Inserts the `% subsparse digest fnv1a64 <hex>` integrity line after
+/// the banner line of a canonical serialized file. The digest covers
+/// every byte *except* the digest line itself, so verification removes
+/// that one line and hashes the rest.
+fn with_digest_line(canonical: &[u8]) -> Vec<u8> {
+    let digest = fnv1a64(canonical);
+    let line_end = canonical.iter().position(|&b| b == b'\n').map_or(canonical.len(), |p| p + 1);
+    let mut out = Vec::with_capacity(canonical.len() + 48);
+    out.extend_from_slice(&canonical[..line_end]);
+    out.extend_from_slice(format!("% subsparse digest fnv1a64 {digest:016x}\n").as_bytes());
+    out.extend_from_slice(&canonical[line_end..]);
+    out
+}
+
+/// Parses a `% subsparse digest fnv1a64 <hex>` line (leading `%`/spaces
+/// tolerated), returning the recorded digest.
+fn parse_digest_line(line: &str) -> Option<u64> {
+    let rest =
+        line.trim().trim_start_matches(['%', ' ']).strip_prefix("subsparse digest fnv1a64 ")?;
+    u64::from_str_radix(rest.trim(), 16).ok()
+}
+
+/// Verifies a file's integrity digest, when it carries one: the digest
+/// line is removed, the remaining bytes hashed, and a mismatch reported
+/// as [`ModelLoadError::Corrupt`]. Files without a digest line (pre-
+/// format-3 saves) pass unverified, as they always did.
+fn verify_digest(file: &str, text: &str) -> Result<(), ModelLoadError> {
+    let mut expected = None;
+    let mut canonical = String::with_capacity(text.len());
+    for seg in text.split_inclusive('\n') {
+        if expected.is_none() {
+            if let Some(d) = parse_digest_line(seg.trim_end()) {
+                expected = Some(d);
+                continue;
+            }
+        }
+        canonical.push_str(seg);
+    }
+    match expected {
+        None => Ok(()),
+        Some(expected) => {
+            let actual = fnv1a64(canonical.as_bytes());
+            if actual == expected {
+                Ok(())
+            } else {
+                Err(ModelLoadError::Corrupt { file: file.into(), expected, actual })
+            }
+        }
+    }
 }
 
 /// Validates the `subsparse basisrep format N` tag in a saved model file's
 /// comment header. Untagged files pass (pre-tag writers); a tag newer than
 /// [`FORMAT_VERSION`] is an error — better to refuse than to misread.
-fn check_format_version(text: &str) -> std::io::Result<()> {
+fn check_format_version(file: &str, text: &str) -> Result<(), ModelLoadError> {
     for line in text.lines().take_while(|l| l.starts_with('%') || l.trim().is_empty()) {
         let Some(tag) =
             line.trim_start_matches(['%', ' ']).strip_prefix("subsparse basisrep format ")
         else {
             continue;
         };
-        let version: u8 = tag.trim().parse().map_err(|_| {
-            std::io::Error::new(
-                std::io::ErrorKind::InvalidData,
-                format!("malformed basisrep format tag: {line:?}"),
-            )
+        let version: u8 = tag.trim().parse().map_err(|_| ModelLoadError::Malformed {
+            file: file.into(),
+            detail: format!("malformed basisrep format tag: {line:?}"),
         })?;
         if version > FORMAT_VERSION {
-            return Err(std::io::Error::new(
-                std::io::ErrorKind::InvalidData,
-                format!(
-                    "model written with basisrep format {version}, \
-                     but this build reads at most {FORMAT_VERSION}"
-                ),
-            ));
+            return Err(ModelLoadError::Version { file: file.into(), version });
         }
         return Ok(());
     }
     Ok(())
+}
+
+/// Loads and validates the `.fwt` side section: header tag, integrity
+/// digest (format 3 side files), structural parse, and consistency with
+/// the `Q` factor. `Ok(None)` means no side file (a legacy model);
+/// any `Err` is recoverable by the caller — the factors alone still
+/// serve through the explicit-CSR path.
+fn load_fwt_section(
+    stem: &std::path::Path,
+    q: &Csr,
+) -> Result<Option<FastWaveletTransform>, ModelLoadError> {
+    let path = stem_path(stem, ".fwt");
+    let file = path.display().to_string();
+    let text = match read_model_text(&path) {
+        Err(ModelLoadError::Io { ref source, .. })
+            if source.kind() == std::io::ErrorKind::NotFound =>
+        {
+            return Ok(None)
+        }
+        other => other?,
+    };
+    let malformed = |detail: String| ModelLoadError::Malformed { file: file.clone(), detail };
+    let (header, rest) = text.split_once('\n').unwrap_or((text.as_str(), ""));
+    let tag = header
+        .trim()
+        .strip_prefix("subsparse basisrep fwt section ")
+        .ok_or_else(|| malformed("fwt section is missing its header".into()))?;
+    let version: u8 =
+        tag.parse().map_err(|_| malformed(format!("malformed fwt tag {header:?}")))?;
+    if version > FORMAT_VERSION {
+        return Err(ModelLoadError::Version { file, version });
+    }
+    let body = if version >= 3 {
+        // the digest line is mandatory from format 3 on
+        let (digest_line, body) = rest
+            .split_once('\n')
+            .ok_or_else(|| malformed("fwt section ends at its header".into()))?;
+        let expected = parse_digest_line(digest_line)
+            .ok_or_else(|| malformed("fwt section is missing its digest line".into()))?;
+        let actual = fnv1a64(body.as_bytes());
+        if actual != expected {
+            return Err(ModelLoadError::Corrupt { file, expected, actual });
+        }
+        body
+    } else {
+        rest
+    };
+    let fwt = FastWaveletTransform::from_text(body).map_err(malformed)?;
+    if fwt.n() != q.n_rows() || q.n_rows() != q.n_cols() {
+        return Err(ModelLoadError::Structure {
+            detail: format!(
+                "fwt section is for {} contacts, but Q is {}x{}",
+                fwt.n(),
+                q.n_rows(),
+                q.n_cols()
+            ),
+        });
+    }
+    Ok(Some(fwt))
 }
 
 #[cfg(test)]
@@ -715,9 +915,11 @@ mod tests {
         std::fs::create_dir_all(&dir).unwrap();
         let stem = dir.join("model");
         r.save(&stem).unwrap();
-        // fwt-less models stay on format 1 so pre-FWT readers accept them
+        // fwt-less models stay on format 1 so pre-FWT readers accept
+        // them; the integrity digest rides along as an ordinary comment
         let text = std::fs::read_to_string(dir.join("model.q.mtx")).unwrap();
         assert!(text.contains("subsparse basisrep format 1"));
+        assert!(text.contains("subsparse digest fnv1a64 "));
         let back = BasisRep::load(&stem).unwrap();
         assert_eq!(back.q.nnz(), r.q.nnz());
         assert_eq!(back.gw.nnz(), r.gw.nnz());
@@ -738,26 +940,64 @@ mod tests {
         std::fs::create_dir_all(&dir).unwrap();
         let stem = dir.join("model");
         r.save(&stem).unwrap();
-        // stamp the q factor as a future format: load must refuse
+        // stamp the q factor as a future format (dropping the digest
+        // line, as a foreign editor would have to): load must refuse
+        // with the typed Version error
         let q_path = dir.join("model.q.mtx");
-        let bumped = std::fs::read_to_string(&q_path).unwrap().replace(
+        let bumped = std::fs::read_to_string(&q_path)
+            .unwrap()
+            .replace(
+                "subsparse basisrep format 1",
+                &format!("subsparse basisrep format {}", FORMAT_VERSION + 1),
+            )
+            .lines()
+            .filter(|l| !l.contains("subsparse digest"))
+            .collect::<Vec<_>>()
+            .join("\n");
+        std::fs::write(&q_path, bumped).unwrap();
+        let err = BasisRep::load(&stem).unwrap_err();
+        assert!(
+            matches!(err, ModelLoadError::Version { version, .. } if version == FORMAT_VERSION + 1),
+            "{err}"
+        );
+        // editing the tag *without* refreshing the digest is corruption
+        let stale = std::fs::read_to_string(dir.join("model.gw.mtx")).unwrap().replace(
             "subsparse basisrep format 1",
             &format!("subsparse basisrep format {}", FORMAT_VERSION + 1),
         );
-        std::fs::write(&q_path, bumped).unwrap();
-        let err = BasisRep::load(&stem).unwrap_err();
-        assert!(err.to_string().contains("format"), "{err}");
-        // untagged legacy files still load
+        std::fs::write(dir.join("model.gw.mtx"), stale).unwrap();
+        r.save(&stem).unwrap(); // restore q; gw rewritten clean too
+                                // untagged, digest-less legacy files still load
         let legacy = std::fs::read_to_string(&q_path)
             .unwrap()
             .lines()
-            .filter(|l| !l.contains("basisrep format"))
+            .filter(|l| !l.contains("basisrep format") && !l.contains("subsparse digest"))
             .collect::<Vec<_>>()
             .join("\n");
         std::fs::write(&q_path, legacy).unwrap();
         assert!(BasisRep::load(&stem).is_ok());
         std::fs::remove_file(q_path).ok();
         std::fs::remove_file(dir.join("model.gw.mtx")).ok();
+    }
+
+    #[test]
+    fn digest_catches_payload_corruption() {
+        let r = example_rep();
+        let dir = std::env::temp_dir().join("subsparse_rep_digest_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let stem = dir.join("model");
+        r.save(&stem).unwrap();
+        // flip one value digit in the gw payload: the digest must catch
+        // it before the (still-parseable) matrix reaches validation
+        let gw_path = dir.join("model.gw.mtx");
+        let text = std::fs::read_to_string(&gw_path).unwrap();
+        let tampered = text.replace("3.0", "8.0");
+        assert_ne!(text, tampered, "fixture must contain the tampered value");
+        std::fs::write(&gw_path, tampered).unwrap();
+        let err = BasisRep::load(&stem).unwrap_err();
+        assert!(matches!(err, ModelLoadError::Corrupt { .. }), "{err}");
+        std::fs::remove_file(gw_path).ok();
+        std::fs::remove_file(dir.join("model.q.mtx")).ok();
     }
 
     #[test]
@@ -807,23 +1047,43 @@ mod tests {
     }
 
     #[test]
-    fn fwt_section_from_the_future_is_refused() {
+    fn unusable_fwt_section_degrades_to_csr_fallback() {
+        // an fwt side file that cannot be used — from a newer format,
+        // corrupt, or structurally broken — must not refuse the model:
+        // the factors are intact, so the load degrades to the
+        // explicit-CSR serving path and still answers applies correctly
         let rep = example_fwt_rep();
         let dir = std::env::temp_dir().join("subsparse_rep_fwt_version_test");
         std::fs::create_dir_all(&dir).unwrap();
         let stem = dir.join("model");
-        rep.save(&stem).unwrap();
+        let x = [0.25, -1.0, 2.0, 0.5];
+        let reference = rep.without_fwt().apply(&x);
+        let expect_degraded = || {
+            let back = BasisRep::load(&stem).expect("factors are intact, load must succeed");
+            assert!(back.fwt().is_none(), "unusable side file must degrade to CSR");
+            for (a, b) in back.apply(&x).iter().zip(&reference) {
+                assert!((a - b).abs() <= 1e-12 * b.abs().max(1.0), "{a} vs {b}");
+            }
+        };
         let fwt_path = dir.join("model.fwt");
-        let bumped = std::fs::read_to_string(&fwt_path).unwrap().replace(
+        // future format version
+        rep.save(&stem).unwrap();
+        let saved = std::fs::read_to_string(&fwt_path).unwrap();
+        let bumped = saved.replace(
             &format!("fwt section {FORMAT_VERSION}"),
             &format!("fwt section {}", FORMAT_VERSION + 1),
         );
         std::fs::write(&fwt_path, bumped).unwrap();
-        let err = BasisRep::load(&stem).unwrap_err();
-        assert!(err.to_string().contains("format"), "{err}");
-        // a corrupt section is rejected, not silently dropped
+        expect_degraded();
+        // corrupt body (digest mismatch)
+        std::fs::write(&fwt_path, saved.replace("0.7", "0.9")).unwrap();
+        expect_degraded();
+        // structurally broken body behind a valid-looking pre-digest header
         std::fs::write(&fwt_path, "subsparse basisrep fwt section 2\n1 2 garbage").unwrap();
-        assert!(BasisRep::load(&stem).is_err());
+        expect_degraded();
+        // and a healthy side file still comes back on the fast path
+        rep.save(&stem).unwrap();
+        assert!(BasisRep::load(&stem).unwrap().fwt().is_some());
         std::fs::remove_file(fwt_path).ok();
         std::fs::remove_file(dir.join("model.q.mtx")).ok();
         std::fs::remove_file(dir.join("model.gw.mtx")).ok();

@@ -12,7 +12,7 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 use subsparse_hier::fwt::{FwtLevel, FwtNode};
 use subsparse_hier::{BasisRep, FastWaveletTransform};
 use subsparse_linalg::{
-    svd, trace, ApplyWorkspace, CouplingOp, Csr, LowRankOp, Mat, ParallelApply, Triplets,
+    faults, svd, trace, ApplyWorkspace, CouplingOp, Csr, LowRankOp, Mat, ParallelApply, Triplets,
 };
 
 /// Forwards to the system allocator, counting allocations.
@@ -63,6 +63,20 @@ fn apply_into_is_allocation_free_after_warmup() {
         }
     });
     assert_eq!(probe_allocs, 0, "disabled trace probes allocated");
+
+    // Same claim for the fault-injection layer: the failpoints ship
+    // disarmed, and the disabled probes sitting inside the worker
+    // closures and solver seams (one relaxed load each) are alloc-free.
+    assert!(!faults::enabled(), "failpoints must ship disarmed");
+    let fault_probe_allocs = allocations_during(|| {
+        for _ in 0..16 {
+            std::hint::black_box(faults::enabled());
+            std::hint::black_box(faults::fire(faults::Failpoint::PoolWorkerPanic));
+            std::hint::black_box(faults::fire_arg(faults::Failpoint::SolveStall));
+            faults::sleep_if(faults::Failpoint::SolveStall);
+        }
+    });
+    assert_eq!(fault_probe_allocs, 0, "disabled failpoint probes allocated");
 
     let n = 48;
     let dense = Mat::from_fn(n, n, |i, j| 1.0 / (1.0 + (i + j) as f64));

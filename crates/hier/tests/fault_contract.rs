@@ -1,0 +1,191 @@
+//! The fault-injection contract on the serving and loading seams: with a
+//! failpoint armed and firing, no panic escapes a public API — the caller
+//! sees either a typed error (loads) or a bit-identical degraded result
+//! (panic-isolated pool/FWT workers falling back to the serial path).
+//!
+//! The failpoint registry is process-global, so every test serializes on
+//! one mutex and leaves the registry disarmed.
+
+use std::sync::Mutex;
+
+use subsparse_hier::fwt::{FwtLevel, FwtNode};
+use subsparse_hier::rep::ModelLoadError;
+use subsparse_hier::{BasisRep, FastWaveletTransform, FwtLevelExec};
+use subsparse_linalg::faults::{self, Failpoint, FireMode};
+use subsparse_linalg::{trace, Csr, Mat, ParallelApply, Triplets};
+
+static FAULTS_LOCK: Mutex<()> = Mutex::new(());
+
+fn lock() -> std::sync::MutexGuard<'static, ()> {
+    // a panicking test must not wedge the rest of the suite
+    FAULTS_LOCK.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+/// A full binary Haar transform on `n = 2^k` contacts (the
+/// `trace_overhead` fixture): `log2(n)` levels of 2→1 pairing blocks.
+fn binary_haar(n: usize) -> FastWaveletTransform {
+    assert!(n.is_power_of_two() && n >= 2);
+    let r = 0.5f64.sqrt();
+    let mut blocks = Vec::new();
+    let mut levels = Vec::new();
+    let mut m = n;
+    while m >= 2 {
+        let half = m / 2;
+        let base = blocks.len();
+        let nodes = (0..half)
+            .map(|s| FwtNode {
+                in_offset: 2 * s,
+                in_len: 2,
+                v_cols: 1,
+                w_cols: 1,
+                out_offset: s,
+                col_start: half + s,
+                block_offset: base + 4 * s,
+            })
+            .collect();
+        for _ in 0..half {
+            blocks.extend_from_slice(&[r, r, r, -r]);
+        }
+        levels.push(FwtLevel { nodes, coeff_len: half });
+        m = half;
+    }
+    FastWaveletTransform::from_parts(n, 1, levels, (0..n as u32).collect(), blocks)
+        .expect("valid binary haar transform")
+}
+
+fn example_rep(n: usize) -> BasisRep {
+    let mut t = Triplets::new(n, n);
+    for i in 0..n {
+        t.push(i, i, 2.0 + (i % 7) as f64 * 0.1);
+        t.push(i, (i + 1) % n, -0.4);
+        t.push(i, (i + 17) % n, -0.2);
+    }
+    BasisRep::with_fwt(Csr::identity(n), t.to_csr(), binary_haar(n))
+}
+
+fn excitation(n: usize, b: usize) -> Mat {
+    Mat::from_fn(n, b, |i, j| ((i * 31 + j * 7) as f64 * 0.13).sin())
+}
+
+#[test]
+fn pool_worker_panic_degrades_to_bit_identical_serial_apply() {
+    let _g = lock();
+    faults::reset();
+    let n = 256;
+    let rep = example_rep(n);
+
+    // references computed with no fault armed, on the serial path
+    let mut serial = ParallelApply::new(1);
+    let wide = excitation(n, 8);
+    let narrow = excitation(n, 1);
+    let want_wide = serial.apply_block(&rep, &wide);
+    let want_narrow = serial.apply_block(&rep, &narrow);
+
+    trace::reset();
+    trace::set_enabled(true);
+    let mut pool = ParallelApply::new(4).with_min_work(0);
+
+    // wide block → column shards; one worker panics, the apply degrades
+    faults::configure(Failpoint::PoolWorkerPanic, FireMode::Once);
+    let got = pool.apply_block(&rep, &wide);
+    for j in 0..wide.n_cols() {
+        assert_eq!(got.col(j), want_wide.col(j), "degraded col-shard apply must be bit-identical");
+    }
+    assert_eq!(trace::counter(trace::Counter::DegradedApplies), 1);
+
+    // narrow block on a row-shardable rep → row shards; same contract
+    faults::configure(Failpoint::PoolWorkerPanic, FireMode::Once);
+    let got = pool.apply_block(&rep, &narrow);
+    assert_eq!(got.col(0), want_narrow.col(0), "degraded row-shard apply must be bit-identical");
+    assert_eq!(trace::counter(trace::Counter::DegradedApplies), 2);
+
+    // disarmed again: no degradation, still identical
+    faults::reset();
+    let got = pool.apply_block(&rep, &wide);
+    for j in 0..wide.n_cols() {
+        assert_eq!(got.col(j), want_wide.col(j));
+    }
+    assert_eq!(trace::counter(trace::Counter::DegradedApplies), 2);
+    trace::set_enabled(false);
+    trace::reset();
+}
+
+#[test]
+fn fwt_worker_panic_recomputes_level_serially() {
+    let _g = lock();
+    faults::reset();
+    let n = 256;
+    let fwt = binary_haar(n);
+    let b = 4;
+    let x = excitation(n, b);
+    let scratch = fwt.scratch_len();
+    let (mut out, mut s1, mut s2) =
+        (Mat::zeros(n, b), Mat::zeros(scratch, b), Mat::zeros(scratch, b));
+    fwt.forward_block_into(&x, &mut out, &mut s1, &mut s2);
+    let want_fwd = out.clone();
+    let mut back = Mat::zeros(n, b);
+    fwt.inverse_block_into(&want_fwd, &mut back, &mut s1, &mut s2);
+    let want_inv = back.clone();
+
+    let mut exec = FwtLevelExec::new(4).with_min_work(0);
+    // every:1 = every engaged worker panics on every level: the executor
+    // must survive total worker loss and still produce the serial bits
+    for mode in [FireMode::Once, FireMode::EveryN(1)] {
+        faults::configure(Failpoint::FwtWorkerPanic, mode);
+        exec.forward_block_into(&fwt, &x, &mut out, &mut s1, &mut s2);
+        for j in 0..b {
+            assert_eq!(out.col(j), want_fwd.col(j), "degraded forward must be bit-identical");
+        }
+        faults::configure(Failpoint::FwtWorkerPanic, mode);
+        exec.inverse_block_into(&fwt, &want_fwd, &mut back, &mut s1, &mut s2);
+        for j in 0..b {
+            assert_eq!(back.col(j), want_inv.col(j), "degraded inverse must be bit-identical");
+        }
+    }
+    faults::reset();
+}
+
+#[test]
+fn load_faults_surface_as_typed_errors_never_panics() {
+    let _g = lock();
+    faults::reset();
+    let dir = std::env::temp_dir().join("subsparse_fault_contract_load");
+    std::fs::create_dir_all(&dir).unwrap();
+    let stem = dir.join("model");
+    let rep = example_rep(16);
+    rep.save(&stem).unwrap();
+
+    // truncating the first factor file read → typed corruption/truncation
+    faults::configure(Failpoint::LoadTruncate, FireMode::Once);
+    match BasisRep::load(&stem) {
+        Err(ModelLoadError::Corrupt { .. } | ModelLoadError::Truncated { .. }) => {}
+        other => panic!("truncated read must be a typed load error, got {other:?}"),
+    }
+
+    // flipping one payload bit → the digest catches it
+    faults::configure(Failpoint::LoadBitflip, FireMode::Once);
+    match BasisRep::load(&stem) {
+        Err(ModelLoadError::Corrupt { .. }) => {}
+        other => panic!("bit-flipped read must fail its digest, got {other:?}"),
+    }
+
+    // the third read of a load is the .fwt side file: damage there must
+    // degrade to the CSR fallback, not refuse the model
+    faults::configure(Failpoint::LoadTruncate, FireMode::EveryN(3));
+    let back = BasisRep::load(&stem).expect("side-file damage must degrade, not fail");
+    assert!(back.fwt().is_none(), "damaged side file must drop the fast path");
+    let x: Vec<f64> = (0..16).map(|i| (i as f64 * 0.7).cos()).collect();
+    // the degraded model must serve exactly what the same artifact's
+    // explicit-CSR fallback serves
+    let want = rep.without_fwt().apply(&x);
+    for (a, b) in back.apply(&x).iter().zip(&want) {
+        assert!((a - b).abs() <= 1e-12 * b.abs().max(1.0), "{a} vs {b}");
+    }
+
+    // disarmed: the model loads intact on the fast path
+    faults::reset();
+    assert!(BasisRep::load(&stem).unwrap().fwt().is_some());
+    for suffix in [".q.mtx", ".gw.mtx", ".fwt"] {
+        std::fs::remove_file(dir.join(format!("model{suffix}"))).ok();
+    }
+}

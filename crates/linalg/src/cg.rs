@@ -6,6 +6,7 @@
 //! preconditioner study of Table 2.1 plugs different [`LinOp`]
 //! preconditioners into [`pcg`].
 
+use crate::faults;
 use crate::mat::{axpy, dot, nrm2};
 
 /// A symmetric linear operator `y = A x` applied matrix-free.
@@ -122,6 +123,34 @@ pub fn pcg(
 /// `scratch` has reached the operator dimension, bit-identical results.
 #[allow(clippy::too_many_arguments)]
 pub fn pcg_with(
+    op: &dyn LinOp,
+    precond: &dyn LinOp,
+    b: &[f64],
+    x: &mut [f64],
+    tol: f64,
+    max_iter: usize,
+    scratch: &mut CgScratch,
+) -> CgResult {
+    // Fault injection (no-ops unless armed; one relaxed load each):
+    // `solve.stall` delays the solve, `solve.no_converge` reports failure
+    // without iterating, and `solve.poison_nan` corrupts the solution —
+    // exercising the retry/typed-error paths of the substrate solvers.
+    if faults::enabled() {
+        faults::sleep_if(faults::Failpoint::SolveStall);
+        if faults::fire(faults::Failpoint::SolveNoConverge) {
+            return CgResult { iterations: 0, converged: false, relative_residual: 1.0 };
+        }
+        if faults::fire(faults::Failpoint::SolvePoisonNan) {
+            let out = pcg_with_inner(op, precond, b, x, tol, max_iter, scratch);
+            x.fill(f64::NAN);
+            return out;
+        }
+    }
+    pcg_with_inner(op, precond, b, x, tol, max_iter, scratch)
+}
+
+#[allow(clippy::too_many_arguments)]
+fn pcg_with_inner(
     op: &dyn LinOp,
     precond: &dyn LinOp,
     b: &[f64],

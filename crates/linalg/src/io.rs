@@ -23,6 +23,27 @@ pub enum ReadMatrixError {
         /// What went wrong.
         message: String,
     },
+    /// An entry line addresses a coordinate outside the stated shape.
+    IndexOutOfRange {
+        /// 1-based line number of the offending entry.
+        line: usize,
+        /// The 1-based row index as written in the file.
+        row: usize,
+        /// The 1-based column index as written in the file.
+        col: usize,
+        /// The stated number of rows.
+        n_rows: usize,
+        /// The stated number of columns.
+        n_cols: usize,
+    },
+    /// The file ends before all stated entries appear — a cut-off
+    /// download or a partially written model.
+    Truncated {
+        /// Entries the size line promised.
+        expected: usize,
+        /// Entries actually present.
+        got: usize,
+    },
 }
 
 impl fmt::Display for ReadMatrixError {
@@ -34,6 +55,16 @@ impl fmt::Display for ReadMatrixError {
             }
             ReadMatrixError::Parse { line, message } => {
                 write!(f, "parse error on line {line}: {message}")
+            }
+            ReadMatrixError::IndexOutOfRange { line, row, col, n_rows, n_cols } => {
+                write!(
+                    f,
+                    "entry on line {line} addresses ({row}, {col}), \
+                     outside the stated {n_rows}x{n_cols} shape"
+                )
+            }
+            ReadMatrixError::Truncated { expected, got } => {
+                write!(f, "file truncated: size line promises {expected} entries, found {got}")
             }
         }
     }
@@ -161,9 +192,12 @@ pub fn read_matrix_market<R: BufRead>(r: R) -> Result<Csr, ReadMatrixError> {
                     message: format!("bad value {:?}", fields[2]),
                 })?;
                 if i == 0 || j == 0 || i > nr || j > nc {
-                    return Err(ReadMatrixError::Parse {
+                    return Err(ReadMatrixError::IndexOutOfRange {
                         line: idx + 1,
-                        message: format!("index ({i},{j}) out of bounds for {nr}x{nc}"),
+                        row: i,
+                        col: j,
+                        n_rows: nr,
+                        n_cols: nc,
                     });
                 }
                 let t = trips.as_mut().expect("size parsed implies triplets");
@@ -177,11 +211,25 @@ pub fn read_matrix_market<R: BufRead>(r: R) -> Result<Csr, ReadMatrixError> {
     }
     match (size, remaining) {
         (Some(_), 0) => Ok(trips.expect("size parsed").to_csr()),
-        (Some(_), missing) => {
-            Err(ReadMatrixError::Parse { line: 0, message: format!("{missing} entries missing") })
+        (Some((_, _, expected)), missing) => {
+            Err(ReadMatrixError::Truncated { expected, got: expected - missing })
         }
         (None, _) => Err(ReadMatrixError::Parse { line: 0, message: "no size line".into() }),
     }
+}
+
+/// The 64-bit FNV-1a digest of a byte string — the integrity check the
+/// `BasisRep` format 3 model files carry per section. FNV-1a is not
+/// cryptographic; it is a fast, dependency-free detector for the failure
+/// modes model artifacts actually meet (truncation, bit rot, partial
+/// writes, editor mangling).
+pub fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
 }
 
 #[cfg(test)]
@@ -227,10 +275,54 @@ mod tests {
             read_matrix_market("%%MatrixMarket matrix array real general\n".as_bytes()),
             Err(ReadMatrixError::UnsupportedFormat(_))
         ));
+        // out-of-range index: typed, with the offending line number
         let text = "%%MatrixMarket matrix coordinate real general\n2 2 1\n3 1 1.0\n";
-        assert!(matches!(read_matrix_market(text.as_bytes()), Err(ReadMatrixError::Parse { .. })));
-        let text = "%%MatrixMarket matrix coordinate real general\n2 2 2\n1 1 1.0\n";
-        assert!(matches!(read_matrix_market(text.as_bytes()), Err(ReadMatrixError::Parse { .. })));
+        match read_matrix_market(text.as_bytes()) {
+            Err(ReadMatrixError::IndexOutOfRange { line, row, col, n_rows, n_cols }) => {
+                assert_eq!((line, row, col, n_rows, n_cols), (3, 3, 1, 2, 2));
+            }
+            other => panic!("expected IndexOutOfRange, got {other:?}"),
+        }
+        // malformed entry line: typed, with the offending line number
+        let text = "%%MatrixMarket matrix coordinate real general\n% pad\n2 2 1\n1 one 1.0\n";
+        match read_matrix_market(text.as_bytes()) {
+            Err(ReadMatrixError::Parse { line, message }) => {
+                assert_eq!(line, 4);
+                assert!(message.contains("one"), "{message}");
+            }
+            other => panic!("expected Parse, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn truncated_file_reports_missing_entries() {
+        // round-trip through a truncated copy: cut the serialized file
+        // after the first entry and the reader must say exactly what is
+        // missing instead of returning a silently short matrix
+        let dense = Mat::from_rows(&[&[1.0, -2.0], &[3.5, 0.25]]);
+        let mut buf = Vec::new();
+        write_matrix_market(&Csr::from_dense(&dense, 0.0), &mut buf).unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        let keep: Vec<&str> = text.lines().collect();
+        // header + comment + size line + first entry only
+        let cut = keep[..4].join("\n");
+        match read_matrix_market(cut.as_bytes()) {
+            Err(ReadMatrixError::Truncated { expected, got }) => {
+                assert_eq!((expected, got), (4, 1));
+            }
+            other => panic!("expected Truncated, got {other:?}"),
+        }
+        // the intact text still round-trips
+        assert_eq!(read_matrix_market(text.as_bytes()).unwrap().nnz(), 4);
+    }
+
+    #[test]
+    fn fnv1a64_is_stable_and_sensitive() {
+        // reference vectors from the FNV-1a specification
+        assert_eq!(fnv1a64(b""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(fnv1a64(b"a"), 0xaf63_dc4c_8601_ec8c);
+        // a single flipped bit changes the digest
+        assert_ne!(fnv1a64(b"1 2 3.0\n"), fnv1a64(b"1 2 3.1\n"));
     }
 
     #[test]

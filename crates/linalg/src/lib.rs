@@ -25,6 +25,9 @@
 //! * [`trace`] — zero-dependency observability: RAII spans, atomic
 //!   counters, latency histograms, Chrome-trace export. Off by default;
 //!   the disabled fast path costs one relaxed atomic load.
+//! * [`faults`] — zero-dependency fault injection: named failpoints at
+//!   the fragile seams (loads, solves, pool workers), armed at runtime.
+//!   Off by default with the same one-relaxed-load disabled cost.
 //! * [`io`] — Matrix Market import/export of the sparse factors.
 //!
 //! # Example
@@ -40,6 +43,7 @@
 pub mod cg;
 pub mod chol;
 pub mod dct;
+pub mod faults;
 pub mod fft;
 pub mod io;
 pub mod kernels;
@@ -54,6 +58,6 @@ pub mod tridiag;
 
 pub use cg::{cg, pcg, pcg_with, CgResult, CgScratch, IdentityPrecond, LinOp};
 pub use mat::{axpy, dot, nrm2, Mat};
-pub use op::{resolve_threads, ApplyWorkspace, CouplingOp, LowRankOp, ParallelApply};
+pub use op::{resolve_threads, ApplyError, ApplyWorkspace, CouplingOp, LowRankOp, ParallelApply};
 pub use sparse::{Csr, SymmetricAccumulator, Triplets};
 pub use svd::{svd, Svd};

@@ -60,9 +60,12 @@
 //! assert_eq!(g.nnz(), 4);
 //! ```
 
+use crate::faults;
 use crate::mat::Mat;
 use crate::sparse::Csr;
 use crate::trace;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, Ordering};
 
 /// Resolves a worker-thread knob: `0` means one worker per available CPU
 /// (the shared `threads: usize, 0 = auto` convention of `BatchOptions`
@@ -381,6 +384,41 @@ impl WorkerSlot {
     }
 }
 
+/// A rejected block at the checked serving boundary
+/// ([`ParallelApply::try_apply_block_into`]).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ApplyError {
+    /// The excitation block's row count does not match the operator.
+    DimensionMismatch {
+        /// The operator dimension.
+        expected: usize,
+        /// The block's row count.
+        got: usize,
+    },
+    /// An excitation entry is NaN or infinite.
+    NonFinite {
+        /// Row of the offending entry.
+        row: usize,
+        /// Column of the offending entry.
+        col: usize,
+    },
+}
+
+impl std::fmt::Display for ApplyError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ApplyError::DimensionMismatch { expected, got } => {
+                write!(f, "excitation block has {got} rows, operator expects {expected}")
+            }
+            ApplyError::NonFinite { row, col } => {
+                write!(f, "excitation entry ({row}, {col}) is not finite")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ApplyError {}
+
 /// A thread-parallel serving executor: one
 /// [`apply_block_into`](CouplingOp::apply_block_into) call, sharded
 /// across scoped worker threads.
@@ -587,16 +625,33 @@ impl ParallelApply {
                 op.prepare_rows(x, &mut self.prep);
             }
             let prep = &self.prep;
+            let poisoned = AtomicBool::new(false);
             std::thread::scope(|scope| {
                 for (k, slot) in self.slots[..shards].iter_mut().enumerate() {
                     let (i0, i1) = (k * h, ((k + 1) * h).min(n));
+                    let poisoned = &poisoned;
                     scope.spawn(move || {
                         let _w =
                             trace::span_track("worker.row_shard", trace::worker_track(k), k as u64);
-                        slot.run_row_shard(op, x, prep, i0, i1)
+                        let work = catch_unwind(AssertUnwindSafe(|| {
+                            if faults::enabled() && faults::fire(faults::Failpoint::PoolWorkerPanic)
+                            {
+                                panic!("injected fault: pool.worker_panic");
+                            }
+                            slot.run_row_shard(op, x, prep, i0, i1)
+                        }));
+                        if work.is_err() {
+                            poisoned.store(true, Ordering::Relaxed);
+                        }
                     });
                 }
             });
+            if poisoned.load(Ordering::Relaxed) {
+                // a worker's staging panel is suspect; discard everything
+                // and recompute on the bit-identical serial path
+                self.degraded_serial_apply(op, x, y);
+                return;
+            }
             // publish: row ranges interleave across the column-major
             // output, so the gather happens after the scope
             for (k, slot) in self.slots[..shards].iter().enumerate() {
@@ -617,15 +672,53 @@ impl ParallelApply {
         self.ensure_slots(workers);
         let w = b.div_ceil(workers);
         trace::add(trace::Counter::ColPanels, b.div_ceil(w) as u64);
+        let poisoned = AtomicBool::new(false);
         std::thread::scope(|scope| {
             for ((k, slot), y_panel) in self.slots.iter_mut().enumerate().zip(y.col_chunks_mut(w)) {
+                let poisoned = &poisoned;
                 scope.spawn(move || {
                     let _w =
                         trace::span_track("worker.col_shard", trace::worker_track(k), k as u64);
-                    slot.run_col_shard(op, x, k * w, y_panel)
+                    let work = catch_unwind(AssertUnwindSafe(|| {
+                        if faults::enabled() && faults::fire(faults::Failpoint::PoolWorkerPanic) {
+                            panic!("injected fault: pool.worker_panic");
+                        }
+                        slot.run_col_shard(op, x, k * w, y_panel)
+                    }));
+                    if work.is_err() {
+                        poisoned.store(true, Ordering::Relaxed);
+                    }
                 });
             }
         });
+        if poisoned.load(Ordering::Relaxed) {
+            // the poisoned worker's output panel is suspect; the serial
+            // path rewrites every column, so rerunning it restores the
+            // bit-identical result
+            self.degraded_serial_apply(op, x, y);
+        }
+    }
+
+    /// The degraded fallback after a worker panic: one serial apply over
+    /// the whole block, bit-identical to what the pool would have
+    /// produced (the executor never re-associates, so the serial kernel
+    /// is the reference). Counted in `degraded_applies` and visible as a
+    /// span so serving traces show every fallback.
+    #[cold]
+    fn degraded_serial_apply<O: CouplingOp + Sync + ?Sized>(
+        &mut self,
+        op: &O,
+        x: &Mat,
+        y: &mut Mat,
+    ) {
+        trace::add(trace::Counter::DegradedApplies, 1);
+        let _s = trace::span("pool.degraded_serial_apply");
+        eprintln!(
+            "warning: a pool worker panicked; re-running this apply on the serial path \
+             (result is bit-identical, see the degraded_applies counter)"
+        );
+        self.ensure_slots(1);
+        op.apply_block_into(x, y, &mut self.slots[0].ws);
     }
 
     /// Allocating convenience over
@@ -634,6 +727,32 @@ impl ParallelApply {
         let mut y = Mat::zeros(0, 0);
         self.apply_block_into(op, x, &mut y);
         y
+    }
+
+    /// The checked serving boundary: validates the block before applying
+    /// and returns a typed [`ApplyError`] instead of panicking on a
+    /// wrong-sized or non-finite input. Internal hot loops stay
+    /// panic-based and allocation-free — this is the one place a serving
+    /// frontend should pay for validation, once per block, outside the
+    /// kernels. On `Ok` the output is exactly what
+    /// [`apply_block_into`](Self::apply_block_into) produces; on `Err`
+    /// the output buffer is untouched.
+    pub fn try_apply_block_into<O: CouplingOp + Sync + ?Sized>(
+        &mut self,
+        op: &O,
+        x: &Mat,
+        y: &mut Mat,
+    ) -> Result<(), ApplyError> {
+        if x.n_rows() != op.n() {
+            return Err(ApplyError::DimensionMismatch { expected: op.n(), got: x.n_rows() });
+        }
+        for j in 0..x.n_cols() {
+            if let Some(i) = x.col(j).iter().position(|v| !v.is_finite()) {
+                return Err(ApplyError::NonFinite { row: i, col: j });
+            }
+        }
+        self.apply_block_into(op, x, y);
+        Ok(())
     }
 
     fn ensure_slots(&mut self, workers: usize) {
