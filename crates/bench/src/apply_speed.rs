@@ -25,7 +25,6 @@
 
 use std::fmt::Write as _;
 
-use subsparse::hier::FwtLevelExec;
 use subsparse::layout::generators;
 use subsparse::linalg::rng::SmallRng;
 use subsparse::linalg::{ApplyWorkspace, CouplingOp, LowRankOp, Mat, ParallelApply};
@@ -183,12 +182,15 @@ fn bench_op(
     }
 }
 
-/// Times the *level-parallel* fast-wavelet-transform serving pipeline
-/// (`wavelet_fwt_lp`): [`FwtLevelExec`] forward, row-sharded `Gw` apply
-/// through [`ParallelApply`], [`FwtLevelExec`] inverse. Emits threaded
-/// rows only (the serial `wavelet_fwt` rows already cover one worker),
-/// each gated bit-for-bit against the serial fast-transform apply — the
-/// executor's contract is bit-identity, not tolerance.
+/// Times the *level-parallel* fast-wavelet-transform serving path
+/// (`wavelet_fwt_lp`): the transform executor folded into
+/// `BasisRep::apply_block_into` itself — `with_level_parallel`
+/// reconfigures the representation's embedded executor, and the plain
+/// blocked apply then runs the analysis and synthesis cascades
+/// level-parallel through the shared pool. Emits threaded rows only
+/// (the serial `wavelet_fwt` rows already cover one worker), each gated
+/// bit-for-bit against the serial fast-transform apply — the executor's
+/// contract is bit-identity, not tolerance.
 fn bench_fwt_level_parallel(
     n: usize,
     rep: &BasisRep,
@@ -199,38 +201,31 @@ fn bench_fwt_level_parallel(
     if threads <= 1 {
         return;
     }
-    let fwt = rep.fwt().expect("wavelet_fwt_lp needs a fast transform");
-    let mut exec = FwtLevelExec::new(threads);
-    let mut pool = ParallelApply::new(threads);
-    if let Some(mw) = min_work {
-        exec = exec.with_min_work(mw);
-        pool = pool.with_min_work(mw);
-    }
+    assert!(rep.fwt().is_some(), "wavelet_fwt_lp needs a fast transform");
+    let rep_lp = rep.clone().with_level_parallel(
+        threads,
+        min_work.unwrap_or(subsparse::linalg::op::DEFAULT_MIN_WORK_PER_WORKER),
+    );
     let mut ws = ApplyWorkspace::new();
-    let (mut wa, mut wb) = (Mat::zeros(0, 0), Mat::zeros(0, 0));
-    let (mut s1, mut s2) = (Mat::zeros(0, 0), Mat::zeros(0, 0));
+    let mut ws_lp = ApplyWorkspace::new();
     let mut yt = Mat::zeros(0, 0);
     for &block in &BLOCK_WIDTHS {
         let x = Mat::from_fn(n, block, |i, j| ((i * 37 + j * 11) % 101) as f64 / 101.0 - 0.5);
         // serial reference: the single-threaded fast-transform apply
         let mut yb = Mat::zeros(0, 0);
         rep.apply_block_into(&x, &mut yb, &mut ws);
-        // the level-parallel pipeline: forward, Gw, inverse
-        exec.forward_block_into(fwt, &x, &mut wa, &mut s1, &mut s2);
-        pool.apply_block_into(&rep.gw, &wa, &mut wb);
-        exec.inverse_block_into(fwt, &wb, &mut yt, &mut s1, &mut s2);
+        // the folded level-parallel path, same public entry point
+        rep_lp.apply_block_into(&x, &mut yt, &mut ws_lp);
         let mut bit_equal = true;
         for j in 0..block {
             if yt.col(j) != yb.col(j) {
                 bit_equal = false;
             }
         }
-        let t = exec.resolved_threads();
+        let t = subsparse::linalg::resolve_threads(threads);
         let label = format!("{:<12} n={n:<5} b={block} t={t}", "wavelet_fwt_lp");
         let stats = timing::bench_stats(&label, || {
-            exec.forward_block_into(fwt, std::hint::black_box(&x), &mut wa, &mut s1, &mut s2);
-            pool.apply_block_into(&rep.gw, &wa, &mut wb);
-            exec.inverse_block_into(fwt, &wb, &mut yt, &mut s1, &mut s2);
+            rep_lp.apply_block_into(std::hint::black_box(&x), &mut yt, &mut ws_lp);
             std::hint::black_box(&yt);
         });
         rows.push(ApplySpeedRow {
@@ -243,6 +238,49 @@ fn bench_fwt_level_parallel(
             ns_min: stats.min / block as f64,
             ns_mean: stats.mean / block as f64,
             bit_equal,
+        });
+    }
+}
+
+/// Measures raw dispatch hand-off latency: a trivial sharded closure
+/// (`workers` shards of one `black_box` each) dispatched through the
+/// persistent executor pool versus a fresh `std::thread::scope` spawning
+/// the same worker count per call — the parked-pool harness behind every
+/// threaded path today, against the per-call spawn harness it replaced.
+/// The ratio is the evidence behind the serving layer's
+/// `DEFAULT_MIN_WORK_PER_WORKER`: the pool's wake-run-park cycle costs a
+/// fraction of a thread launch, so the break-even work per worker drops
+/// by the same factor. Emitted as `handoff_pool` / `handoff_scope` rows
+/// with `ns_per_vector` holding nanoseconds per dispatch (`n = 0`: no
+/// operator is involved).
+pub fn bench_handoff(threads: usize, rows: &mut Vec<ApplySpeedRow>) {
+    let workers = subsparse::linalg::resolve_threads(threads).max(2);
+    let ex = subsparse::linalg::Executor::global();
+    ex.run(workers, &|_| {}); // spawn + park the pool's workers once
+    let pool_stats = timing::bench_stats(&format!("{:<12} t={workers}", "handoff_pool"), || {
+        ex.run(workers, &|s| {
+            std::hint::black_box(s);
+        });
+    });
+    let scope_stats = timing::bench_stats(&format!("{:<12} t={workers}", "handoff_scope"), || {
+        std::thread::scope(|scope| {
+            for _ in 1..workers {
+                scope.spawn(|| std::hint::black_box(()));
+            }
+            std::hint::black_box(());
+        });
+    });
+    for (method, stats) in [("handoff_pool", pool_stats), ("handoff_scope", scope_stats)] {
+        rows.push(ApplySpeedRow {
+            method: method.to_string(),
+            n: 0,
+            block: 1,
+            threads: workers,
+            nnz: 0,
+            ns_per_vector: stats.p50,
+            ns_min: stats.min,
+            ns_mean: stats.mean,
+            bit_equal: true,
         });
     }
 }

@@ -6,9 +6,14 @@
 //!
 //! ```text
 //! cargo run --release -p subsparse-bench --bin apply_speed -- \
-//!     [--quick] [--json] [--threads T] [--min-work W] \
+//!     [--quick] [--json] [--threads T] [--min-work W] [--handoff] \
 //!     [--baseline FILE] [--trace FILE]
 //! ```
+//!
+//! `--handoff` appends the dispatch-latency micro-rows (`handoff_pool`
+//! vs `handoff_scope`): nanoseconds to hand a trivial closure to the
+//! persistent worker pool versus launching fresh scoped threads — the
+//! evidence behind the serving layer's min-work threshold.
 //!
 //! `--json` additionally writes `BENCH_apply_speed.json`
 //! (method × n × block-width × thread-count → ns/vector), the
@@ -36,14 +41,15 @@
 use std::process::ExitCode;
 
 use subsparse_bench::apply_speed::{
-    diff_baseline, format_baseline, format_rows, rows_json, run_apply_speed, BaselineOutcome,
-    BASELINE_TOL_FRAC, DEFAULT_THREADS, FWT_CSR_TOL,
+    bench_handoff, diff_baseline, format_baseline, format_rows, rows_json, run_apply_speed,
+    BaselineOutcome, BASELINE_TOL_FRAC, DEFAULT_THREADS, FWT_CSR_TOL,
 };
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let quick = args.iter().any(|a| a == "--quick");
     let json = args.iter().any(|a| a == "--json");
+    let handoff = args.iter().any(|a| a == "--handoff");
     let threads = match args.iter().position(|a| a == "--threads") {
         None => DEFAULT_THREADS,
         Some(i) => match args.get(i + 1).and_then(|v| v.parse().ok()) {
@@ -89,7 +95,10 @@ fn main() -> ExitCode {
         subsparse::trace::reset();
     }
 
-    let report = run_apply_speed(quick, threads, min_work);
+    let mut report = run_apply_speed(quick, threads, min_work);
+    if handoff {
+        bench_handoff(threads, &mut report.rows);
+    }
     if let Some(path) = &trace_path {
         if let Err(e) = std::fs::write(path, subsparse::trace::chrome_json()) {
             eprintln!("error: cannot write trace {path}: {e}");

@@ -65,7 +65,7 @@ EXTRACT OPTIONS:
                       synthetic model, O(n) memory — the large-n choice)
   --panels P          eigen panels / FD grid per side (default 128)
   --threads T         solver worker threads for batched solves
-                      (default 1; 0 = one per CPU)
+                      (default 1; 0 = auto, see THREADING)
   --batch B           max RHS columns per batched solve (default 32)
   --threshold F       extra sparsification factor (e.g. 6); default off
   --trace FILE        record spans/counters/latency histograms, write a
@@ -85,7 +85,7 @@ SPARSIFY OPTIONS (run registered methods side by side, shared metrics):
                       (default 4)
   --panels P          eigen/fd resolution (default 128)
   --threads T         solver worker threads for batched solves
-                      (default 1; 0 = one per CPU)
+                      (default 1; 0 = auto, see THREADING)
   --batch B           max RHS columns per batched solve (default 32)
   --out STEM          save the (single) method's model as STEM.{q,gw}.mtx
                       (+ STEM.fwt for the wavelet method)
@@ -105,10 +105,22 @@ APPLY OPTIONS (serving):
                       csr (force the explicit-CSR fallback)
   --threads T         additionally time the blocked applies through the
                       thread-parallel serving executor on T workers
-                      (default 1; 0 = one per CPU); results are
+                      (default 1; 0 = auto, see THREADING); results are
                       bit-identical for every T, speedup needs cores
   --trace FILE        record spans/counters/latency histograms, write a
                       chrome://tracing JSON to FILE, print the summary
+
+THREADING (one knob, every command):
+  --threads T         worker count for every thread-parallel stage the
+                      command runs (batched solves, the blocked serving
+                      executor). T = 1 means serial (default). T = 0
+                      means auto: the SUBSPARSE_THREADS environment
+                      variable (a positive integer) if set, else one
+                      worker per CPU. An explicit nonzero T always wins
+                      over the environment. All stages dispatch onto one
+                      persistent process-wide worker pool, so repeated
+                      applies/solves reuse parked threads instead of
+                      spawning.
 
 FAULT INJECTION (all commands; for hardening tests, not production):
   --faults SPEC       arm named failpoints for this run and print the

@@ -1,0 +1,241 @@
+//! The shared-executor contract, end to end: every site that used to
+//! spawn scoped threads — blocked/row-sharded serving, the
+//! level-parallel fast wavelet transform (standalone and folded into
+//! `BasisRep`), threaded dense-column materialisation, and the batch
+//! solver backends — now dispatches onto one persistent worker pool,
+//! and every one of them must stay **bit-identical** to its serial
+//! path at every thread count, including more lanes than work.
+//!
+//! The fault half of the contract is exercised too: a worker panic
+//! poisons only that dispatch, the public call falls back to the
+//! bit-identical serial path, and the pool never respawns threads —
+//! `Executor::global().workers()` is a stable observable across
+//! repeated poisonings.
+
+use std::sync::{Mutex, OnceLock};
+
+use subsparse::faults::{self, Failpoint, FireMode};
+use subsparse::hier::FwtLevelExec;
+use subsparse::layout::generators;
+use subsparse::linalg::rng::SmallRng;
+use subsparse::linalg::{ApplyWorkspace, CouplingOp, Executor, LowRankOp, Mat, ParallelApply};
+use subsparse::substrate::{
+    solver, EigenSolver, EigenSolverConfig, FdSolver, FdSolverConfig, Substrate, SubstrateSolver,
+};
+use subsparse::{extract_wavelet, BasisRep};
+
+/// The failpoint registry is process-global; fault tests serialize on
+/// one mutex and leave the registry disarmed. (The bit-identity tests
+/// stay correct even if they overlap an armed window — a poisoned
+/// dispatch degrades to the bit-identical serial path by design.)
+static FAULTS_LOCK: Mutex<()> = Mutex::new(());
+
+fn faults_lock() -> std::sync::MutexGuard<'static, ()> {
+    FAULTS_LOCK.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+/// Thread counts the contract is pinned at: serial, two workers, auto
+/// (0 = env/CPU resolution), and deliberately more lanes than shards.
+fn thread_counts(n: usize) -> [usize; 4] {
+    [1, 2, 0, n + 7]
+}
+
+/// Shared wavelet fixture (64 contacts, 2 levels, thresholded serving
+/// model) — extraction is the expensive part, so build it once.
+fn wavelet_rep() -> &'static BasisRep {
+    static REP: OnceLock<BasisRep> = OnceLock::new();
+    REP.get_or_init(|| {
+        let layout = generators::regular_grid(128.0, 8, 2.0);
+        let dense = solver::synthetic(&layout);
+        let w = extract_wavelet(&dense, &layout, 2, 2).expect("wavelet extraction");
+        let (gwt, _) = w.rep.thresholded_to_sparsity(w.rep.sparsity_factor() * 6.0);
+        gwt
+    })
+}
+
+/// A deterministic dense block (no zeros, mixed signs).
+fn x_block(n: usize, b: usize) -> Mat {
+    Mat::from_fn(n, b, |i, j| ((i * 31 + j * 17 + 3) % 101) as f64 / 50.5 - 1.0)
+}
+
+/// The serial reference every pool dispatch is measured against.
+fn serial_apply<O: CouplingOp + ?Sized>(op: &O, x: &Mat) -> Mat {
+    let mut y = Mat::zeros(op.n(), x.n_cols());
+    let mut ws = ApplyWorkspace::new();
+    op.apply_block_into(x, &mut y, &mut ws);
+    y
+}
+
+fn assert_bits_equal(got: &Mat, want: &Mat, what: &str) {
+    assert_eq!(got.n_rows(), want.n_rows(), "{what}: row count");
+    assert_eq!(got.n_cols(), want.n_cols(), "{what}: col count");
+    for (i, (a, b)) in got.data().iter().zip(want.data()).enumerate() {
+        assert_eq!(a.to_bits(), b.to_bits(), "{what}: flat index {i}: {a} != {b}");
+    }
+}
+
+/// Site 1+2 — `ParallelApply`, both dispatch shapes: block 1 and 3 hit
+/// the two-phase row-sharded path, block 8+ the column-panel path. Every
+/// representation family, every thread count, `min_work = 0` so the pool
+/// genuinely engages even on this small fixture.
+#[test]
+fn pool_apply_bit_identical_for_every_op_and_thread_count() {
+    let rep = wavelet_rep();
+    let n = rep.n();
+    let csr = rep.without_fwt();
+    let layout = generators::regular_grid(128.0, 8, 2.0);
+    let dense = solver::synthetic(&layout).matrix().clone();
+    let r = 8;
+    let mut rng = SmallRng::seed_from_u64(7);
+    let u = Mat::from_fn(n, r, |_, _| rng.range_f64(-1.0, 1.0));
+    let v = Mat::from_fn(n, r, |_, _| rng.range_f64(-1.0, 1.0));
+    let s: Vec<f64> = (0..r).map(|i| 1.0 / (1.0 + i as f64)).collect();
+    let factored = LowRankOp::new(u, s, v);
+
+    let ops: [&(dyn CouplingOp + Sync); 4] = [&dense, &csr, rep, &factored];
+    for op in ops {
+        for b in [1usize, 3, 8, 16] {
+            let x = x_block(n, b);
+            let want = serial_apply(op, &x);
+            for t in thread_counts(n) {
+                let mut pool = ParallelApply::new(t).with_min_work(0);
+                let mut y = Mat::zeros(n, b);
+                pool.apply_block_into(op, &x, &mut y);
+                assert_bits_equal(&y, &want, &format!("{} block {b} threads {t}", op.kind()));
+            }
+        }
+    }
+}
+
+/// Site 3 — the standalone level-parallel fast transform. Levels form a
+/// strict dependency chain (level `k+1` reads all of level `k`), so
+/// bit-identity at many lanes also proves the executor's completion
+/// barrier between level dispatches.
+#[test]
+fn fwt_level_exec_matches_serial_transform_at_every_thread_count() {
+    let rep = wavelet_rep();
+    let fwt = rep.fwt().expect("wavelet rep carries a fast transform");
+    let n = fwt.n();
+    let b = 5;
+    let x = x_block(n, b);
+    let (mut want_c, mut s1, mut s2) = (Mat::zeros(0, 0), Mat::zeros(0, 0), Mat::zeros(0, 0));
+    fwt.forward_block_into(&x, &mut want_c, &mut s1, &mut s2);
+    let mut want_x = Mat::zeros(0, 0);
+    fwt.inverse_block_into(&want_c, &mut want_x, &mut s1, &mut s2);
+
+    for t in thread_counts(n) {
+        let mut ex = FwtLevelExec::new(t).with_min_work(0);
+        let (mut c, mut e1, mut e2) = (Mat::zeros(0, 0), Mat::zeros(0, 0), Mat::zeros(0, 0));
+        ex.forward_block_into(fwt, &x, &mut c, &mut e1, &mut e2);
+        assert_bits_equal(&c, &want_c, &format!("fwt forward threads {t}"));
+        let mut xr = Mat::zeros(0, 0);
+        ex.inverse_block_into(fwt, &c, &mut xr, &mut e1, &mut e2);
+        assert_bits_equal(&xr, &want_x, &format!("fwt inverse threads {t}"));
+    }
+}
+
+/// Site 3, folded — `BasisRep::with_level_parallel` routes the transform
+/// halves of a plain `apply_block_into` through the pool; the result
+/// must not move by a bit relative to the serial rep.
+#[test]
+fn folded_level_parallel_rep_is_bit_identical() {
+    let rep = wavelet_rep();
+    let n = rep.n();
+    for b in [1usize, 6] {
+        let x = x_block(n, b);
+        let want = serial_apply(rep, &x);
+        for t in thread_counts(n) {
+            let lp = rep.clone().with_level_parallel(t, 0);
+            let got = serial_apply(&lp, &x);
+            assert_bits_equal(&got, &want, &format!("level-parallel rep block {b} threads {t}"));
+        }
+    }
+}
+
+/// Site 4 — threaded dense-column materialisation (the sparsification
+/// verifier's probe path).
+#[test]
+fn dense_columns_threaded_matches_serial() {
+    let rep = wavelet_rep();
+    let n = rep.n();
+    let cols: Vec<usize> = (0..n).step_by(3).collect();
+    let want = rep.dense_columns(&cols);
+    for t in thread_counts(n) {
+        let got = rep.dense_columns_threaded(&cols, t);
+        assert_bits_equal(&got, &want, &format!("dense_columns threads {t}"));
+    }
+}
+
+/// Site 5 — the batch solver backends (FD and eigenfunction). Each
+/// column runs the identical serial PCG on a pool stripe, so every
+/// thread count agrees with `threads = 1` to the last bit.
+#[test]
+fn solver_batches_bit_identical_across_thread_counts() {
+    let layout = generators::regular_grid(128.0, 2, 32.0); // 4 contacts
+    let sub = Substrate::thesis_standard();
+    let v = x_block(4, 4);
+
+    let fd_base = FdSolverConfig { nx: 16, ny: 16, nz: 8, tol: 1e-9, ..Default::default() };
+    let fd_want = FdSolver::new(&sub, &layout, FdSolverConfig { threads: 1, ..fd_base })
+        .unwrap()
+        .solve_batch(&v);
+    let eig_base = EigenSolverConfig { panels: 16, tol: 1e-10, ..Default::default() };
+    let eig_want = EigenSolver::new(&sub, &layout, EigenSolverConfig { threads: 1, ..eig_base })
+        .unwrap()
+        .solve_batch(&v);
+
+    for t in thread_counts(4) {
+        let fd = FdSolver::new(&sub, &layout, FdSolverConfig { threads: t, ..fd_base }).unwrap();
+        assert_bits_equal(&fd.solve_batch(&v), &fd_want, &format!("fd batch threads {t}"));
+        let eig =
+            EigenSolver::new(&sub, &layout, EigenSolverConfig { threads: t, ..eig_base }).unwrap();
+        assert_bits_equal(&eig.solve_batch(&v), &eig_want, &format!("eigen batch threads {t}"));
+    }
+}
+
+/// Fault contract — a worker panic poisons only its dispatch: the apply
+/// degrades to the bit-identical serial path, and the pool's thread
+/// count never moves (panics are caught inside the worker loop; nothing
+/// dies, nothing respawns).
+#[test]
+fn worker_panic_degrades_serially_without_respawning_workers() {
+    let _g = faults_lock();
+    let rep = wavelet_rep();
+    let n = rep.n();
+    let x = x_block(n, 4);
+    let want = serial_apply(rep, &x);
+
+    // pre-grow the pool past any lane count this binary requests, so
+    // concurrent tests cannot legitimately change `workers()` under us
+    Executor::global().run(96, &|_| {});
+    let before = Executor::global().workers();
+
+    let mut pool = ParallelApply::new(4).with_min_work(0);
+    pool.warm(rep, 4);
+    faults::configure(Failpoint::PoolWorkerPanic, FireMode::EveryN(2));
+    let mut y = Mat::zeros(n, 4);
+    for round in 0..10 {
+        pool.apply_block_into(rep, &x, &mut y);
+        assert_bits_equal(&y, &want, &format!("poisoned pool apply, round {round}"));
+    }
+    faults::reset();
+    assert_eq!(
+        Executor::global().workers(),
+        before,
+        "pool respawned (or leaked) workers across repeated panics"
+    );
+
+    // the folded FWT path honors the same contract under its failpoint
+    let lp = rep.clone().with_level_parallel(4, 0);
+    faults::configure(Failpoint::FwtWorkerPanic, FireMode::EveryN(2));
+    for round in 0..6 {
+        let got = serial_apply(&lp, &x);
+        assert_bits_equal(&got, &want, &format!("poisoned fwt apply, round {round}"));
+    }
+    faults::reset();
+    assert_eq!(
+        Executor::global().workers(),
+        before,
+        "fwt poisonings changed the pool's worker count"
+    );
+}

@@ -48,8 +48,7 @@
 //! bit-identical to looped per-vector transforms — the same contract the
 //! rest of the serving layer keeps.
 
-use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicBool, Ordering};
+use subsparse_linalg::exec;
 use subsparse_linalg::kernels::{dot4, fused_axpy4};
 use subsparse_linalg::op::resolve_threads;
 use subsparse_linalg::{faults, trace, Mat};
@@ -831,8 +830,9 @@ struct LevelSlot {
 }
 
 /// A level-parallel executor for one [`FastWaveletTransform`]: each level
-/// of a blocked transform fans its squares out across scoped worker
-/// threads, with the level boundary as the barrier.
+/// of a blocked transform fans its squares out across the persistent
+/// shared worker pool, with the level boundary as the barrier (the
+/// pool's dispatch-completion barrier separates level dispatches).
 ///
 /// The transform's data dependences run strictly between adjacent levels
 /// — every square of a level reads only the previous level's published
@@ -864,6 +864,9 @@ pub struct FwtLevelExec {
     resolved: usize,
     min_work: usize,
     slots: Vec<LevelSlot>,
+    /// Reused per-level chunk partition, so steady-state dispatches
+    /// allocate nothing (the capacity grows once to the worker count).
+    chunks: Vec<(usize, usize)>,
 }
 
 impl FwtLevelExec {
@@ -877,6 +880,7 @@ impl FwtLevelExec {
             resolved: resolve_threads(threads),
             min_work: subsparse_linalg::op::DEFAULT_MIN_WORK_PER_WORKER,
             slots: Vec::new(),
+            chunks: Vec::new(),
         }
     }
 
@@ -902,6 +906,21 @@ impl FwtLevelExec {
     /// The min-work-per-worker threshold.
     pub fn min_work(&self) -> usize {
         self.min_work
+    }
+
+    /// Whether a blocked transform of `block` columns would engage more
+    /// than one worker on at least one level. The folded serving path
+    /// ([`BasisRep`](crate::BasisRep) blocked applies) uses this to skip
+    /// the executor entirely for transforms that would run inline on
+    /// every level anyway — the serial kernel produces the same bits
+    /// with less bookkeeping.
+    pub fn engages(&self, fwt: &FastWaveletTransform, block: usize) -> bool {
+        if self.resolved <= 1 || block == 0 {
+            return false;
+        }
+        fwt.levels.iter().enumerate().any(|(li, level)| {
+            self.level_workers(fwt.level_stored[li], block, level.nodes.len()) > 1
+        })
     }
 
     /// Workers a level of `stored` block values applied to `block`
@@ -964,48 +983,42 @@ impl FwtLevelExec {
                     }
                 }
             } else {
-                let chunks = partition_by_stored(&level.nodes, workers);
-                self.ensure_slots(chunks.len(), fwt, b);
+                partition_by_stored_into(&level.nodes, workers, &mut self.chunks);
+                let n_chunks = self.chunks.len();
+                self.ensure_slots(n_chunks, fwt, b);
+                let chunks = &self.chunks;
+                let slots = exec::ShardItems::new(&mut self.slots[..n_chunks]);
                 let cur_r: &Mat = cur;
-                let poisoned = AtomicBool::new(false);
-                std::thread::scope(|scope| {
-                    for (k, (slot, &(n0, n1))) in
-                        self.slots[..chunks.len()].iter_mut().zip(&chunks).enumerate()
-                    {
-                        let poisoned = &poisoned;
-                        scope.spawn(move || {
-                            let _w = trace::span_track(
-                                "fwt.worker.forward_level",
-                                trace::worker_track(k),
-                                li as u64,
+                // one barriered parallel section per level: run() returns
+                // only after every chunk finished, which is exactly the
+                // level barrier the cascade needs
+                let poisoned = exec::Executor::global().run(n_chunks, &|k| {
+                    let _w = trace::span_track(
+                        "fwt.worker.forward_level",
+                        trace::worker_track(k),
+                        li as u64,
+                    );
+                    if faults::enabled() && faults::fire(faults::Failpoint::FwtWorkerPanic) {
+                        panic!("injected fault: fwt.worker_panic");
+                    }
+                    // Safety: chunk k alone touches slot k
+                    let slot = unsafe { slots.item(k) };
+                    let (n0, n1) = chunks[k];
+                    for node in &level.nodes[n0..n1] {
+                        for j in 0..b {
+                            fwt.forward_node(
+                                li,
+                                at_root,
+                                node,
+                                x.col(j),
+                                slot.out.col_mut(j),
+                                cur_r.col(j),
+                                slot.next.col_mut(j),
                             );
-                            let work = catch_unwind(AssertUnwindSafe(|| {
-                                if faults::enabled()
-                                    && faults::fire(faults::Failpoint::FwtWorkerPanic)
-                                {
-                                    panic!("injected fault: fwt.worker_panic");
-                                }
-                                for node in &level.nodes[n0..n1] {
-                                    for j in 0..b {
-                                        fwt.forward_node(
-                                            li,
-                                            at_root,
-                                            node,
-                                            x.col(j),
-                                            slot.out.col_mut(j),
-                                            cur_r.col(j),
-                                            slot.next.col_mut(j),
-                                        );
-                                    }
-                                }
-                            }));
-                            if work.is_err() {
-                                poisoned.store(true, Ordering::Relaxed);
-                            }
-                        });
+                        }
                     }
                 });
-                if poisoned.load(Ordering::Relaxed) {
+                if poisoned {
                     // a worker's staging is suspect; nothing was published
                     // yet, so recompute the whole level through the serial
                     // per-node kernel — bit-identical by construction
@@ -1029,7 +1042,7 @@ impl FwtLevelExec {
                 // publish after the level barrier: each chunk's scaling
                 // run (contiguous by the from_parts invariant) and
                 // wavelet ranges, copied verbatim from its staging
-                for (slot, &(n0, n1)) in self.slots[..chunks.len()].iter().zip(&chunks) {
+                for (slot, &(n0, n1)) in self.slots[..n_chunks].iter().zip(chunks) {
                     for node in &level.nodes[n0..n1] {
                         for j in 0..b {
                             if node.v_cols > 0 {
@@ -1093,48 +1106,39 @@ impl FwtLevelExec {
                     }
                 }
             } else {
-                let chunks = partition_by_stored(&level.nodes, workers);
-                self.ensure_slots(chunks.len(), fwt, b);
+                partition_by_stored_into(&level.nodes, workers, &mut self.chunks);
+                let n_chunks = self.chunks.len();
+                self.ensure_slots(n_chunks, fwt, b);
+                let chunks = &self.chunks;
+                let slots = exec::ShardItems::new(&mut self.slots[..n_chunks]);
                 let cur_r: &Mat = cur;
-                let poisoned = AtomicBool::new(false);
-                std::thread::scope(|scope| {
-                    for (k, (slot, &(n0, n1))) in
-                        self.slots[..chunks.len()].iter_mut().zip(&chunks).enumerate()
-                    {
-                        let poisoned = &poisoned;
-                        scope.spawn(move || {
-                            let _w = trace::span_track(
-                                "fwt.worker.inverse_level",
-                                trace::worker_track(k),
-                                li as u64,
+                let poisoned = exec::Executor::global().run(n_chunks, &|k| {
+                    let _w = trace::span_track(
+                        "fwt.worker.inverse_level",
+                        trace::worker_track(k),
+                        li as u64,
+                    );
+                    if faults::enabled() && faults::fire(faults::Failpoint::FwtWorkerPanic) {
+                        panic!("injected fault: fwt.worker_panic");
+                    }
+                    // Safety: chunk k alone touches slot k
+                    let slot = unsafe { slots.item(k) };
+                    let (n0, n1) = chunks[k];
+                    for node in &level.nodes[n0..n1] {
+                        for j in 0..b {
+                            fwt.inverse_node(
+                                li,
+                                at_root,
+                                node,
+                                c.col(j),
+                                slot.out.col_mut(j),
+                                cur_r.col(j),
+                                slot.next.col_mut(j),
                             );
-                            let work = catch_unwind(AssertUnwindSafe(|| {
-                                if faults::enabled()
-                                    && faults::fire(faults::Failpoint::FwtWorkerPanic)
-                                {
-                                    panic!("injected fault: fwt.worker_panic");
-                                }
-                                for node in &level.nodes[n0..n1] {
-                                    for j in 0..b {
-                                        fwt.inverse_node(
-                                            li,
-                                            at_root,
-                                            node,
-                                            c.col(j),
-                                            slot.out.col_mut(j),
-                                            cur_r.col(j),
-                                            slot.next.col_mut(j),
-                                        );
-                                    }
-                                }
-                            }));
-                            if work.is_err() {
-                                poisoned.store(true, Ordering::Relaxed);
-                            }
-                        });
+                        }
                     }
                 });
-                if poisoned.load(Ordering::Relaxed) {
+                if poisoned {
                     degraded_level("inverse", li);
                     for node in &level.nodes {
                         for j in 0..b {
@@ -1152,7 +1156,7 @@ impl FwtLevelExec {
                     std::mem::swap(&mut cur, &mut next);
                     continue;
                 }
-                for (slot, &(n0, n1)) in self.slots[..chunks.len()].iter().zip(&chunks) {
+                for (slot, &(n0, n1)) in self.slots[..n_chunks].iter().zip(chunks) {
                     for node in &level.nodes[n0..n1] {
                         for j in 0..b {
                             if li == 0 {
@@ -1198,11 +1202,13 @@ fn degraded_level(direction: &str, li: usize) {
 /// Cuts a level's Morton-ordered nodes into at most `workers` contiguous
 /// chunks of roughly equal stored-block work (the per-node multiply-add
 /// count), so one oversized square near the root does not serialize the
-/// level behind the smallest chunk.
-fn partition_by_stored(nodes: &[FwtNode], workers: usize) -> Vec<(usize, usize)> {
+/// level behind the smallest chunk. Writes into a caller-held buffer so
+/// the per-level dispatch cadence allocates nothing once the buffer's
+/// capacity has grown to the worker count.
+fn partition_by_stored_into(nodes: &[FwtNode], workers: usize, chunks: &mut Vec<(usize, usize)>) {
+    chunks.clear();
     let total: usize = nodes.iter().map(|nd| nd.in_len * (nd.v_cols + nd.w_cols)).sum();
     let target = total.div_ceil(workers).max(1);
-    let mut chunks = Vec::with_capacity(workers);
     let mut start = 0usize;
     let mut acc = 0usize;
     for (i, nd) in nodes.iter().enumerate() {
@@ -1216,7 +1222,6 @@ fn partition_by_stored(nodes: &[FwtNode], workers: usize) -> Vec<(usize, usize)>
     if start < nodes.len() {
         chunks.push((start, nodes.len()));
     }
-    chunks
 }
 
 #[cfg(test)]

@@ -23,10 +23,12 @@
 //! Thresholding `Gw` trades accuracy for more sparsity (the `Gwt` of the
 //! thesis tables).
 
+use std::sync::Mutex;
+use subsparse_linalg::exec;
 use subsparse_linalg::io::{fnv1a64, ReadMatrixError};
 use subsparse_linalg::{faults, trace, ApplyWorkspace, CouplingOp, Csr, Mat, Triplets};
 
-use crate::fwt::FastWaveletTransform;
+use crate::fwt::{FastWaveletTransform, FwtLevelExec};
 
 // Generic sparse assembly lives next to `Triplets` in `linalg`; re-exported
 // here because the extraction pipelines historically imported it from this
@@ -145,7 +147,7 @@ impl std::error::Error for ModelLoadError {
 /// place would desynchronize the cached transpose/transform, so derived
 /// representations go through [`thresholded`](Self::thresholded) and
 /// friends instead.
-#[derive(Clone, Debug)]
+#[derive(Debug)]
 pub struct BasisRep {
     /// Orthogonal sparse change-of-basis matrix (columns are basis vectors).
     pub q: Csr,
@@ -156,6 +158,25 @@ pub struct BasisRep {
     qt: Csr,
     /// The tree-structured transform, when the basis has one.
     fwt: Option<FastWaveletTransform>,
+    /// The level-parallel transform executor, folded into the serving
+    /// path proper: blocked applies wide enough to clear its min-work
+    /// threshold run the analysis/synthesis transforms level-parallel
+    /// through the shared pool, smaller ones use the serial transform
+    /// (bit-identical either way). Behind a mutex because applies take
+    /// `&self`; contention falls back to the serial transform.
+    level_exec: Mutex<FwtLevelExec>,
+}
+
+impl Clone for BasisRep {
+    fn clone(&self) -> BasisRep {
+        BasisRep {
+            q: self.q.clone(),
+            gw: self.gw.clone(),
+            qt: self.qt.clone(),
+            fwt: self.fwt.clone(),
+            level_exec: self.level_exec_clone(),
+        }
+    }
 }
 
 impl BasisRep {
@@ -163,7 +184,7 @@ impl BasisRep {
     /// caching `Q'` for row-major analysis applies.
     pub fn new(q: Csr, gw: Csr) -> BasisRep {
         let qt = q.transpose();
-        BasisRep { q, gw, qt, fwt: None }
+        BasisRep { q, gw, qt, fwt: None, level_exec: Mutex::new(FwtLevelExec::new(0)) }
     }
 
     /// Builds a representation served through the fast wavelet transform:
@@ -181,7 +202,7 @@ impl BasisRep {
         assert_eq!(gw.n_rows(), fwt.n(), "transform/Gw dimension mismatch");
         assert_eq!(gw.n_rows(), gw.n_cols(), "Gw must be square");
         let qt = q.transpose();
-        BasisRep { q, gw, qt, fwt: Some(fwt) }
+        BasisRep { q, gw, qt, fwt: Some(fwt), level_exec: Mutex::new(FwtLevelExec::new(0)) }
     }
 
     /// The fast transform, if this representation serves through one.
@@ -193,13 +214,84 @@ impl BasisRep {
     /// transform) — the fallback selector for benchmarking and for
     /// consumers of legacy model files.
     pub fn without_fwt(&self) -> BasisRep {
-        BasisRep { q: self.q.clone(), gw: self.gw.clone(), qt: self.qt.clone(), fwt: None }
+        BasisRep {
+            q: self.q.clone(),
+            gw: self.gw.clone(),
+            qt: self.qt.clone(),
+            fwt: None,
+            level_exec: self.level_exec_clone(),
+        }
     }
 
     /// A copy with the same basis (and serving path) but a different
     /// transformed matrix — the shared core of the thresholding helpers.
     fn with_gw(&self, gw: Csr) -> BasisRep {
-        BasisRep { q: self.q.clone(), gw, qt: self.qt.clone(), fwt: self.fwt.clone() }
+        BasisRep {
+            q: self.q.clone(),
+            gw,
+            qt: self.qt.clone(),
+            fwt: self.fwt.clone(),
+            level_exec: self.level_exec_clone(),
+        }
+    }
+
+    /// Reconfigures the embedded level-parallel transform executor
+    /// (`threads`: 0 = auto; `min_work`: 0 disables the inline
+    /// threshold, forcing the parallel transform even on small blocks).
+    /// Purely a performance knob — the level-parallel transform is
+    /// bit-identical to the serial one at every thread count — and the
+    /// hook the contract tests and benches use to force the folded path
+    /// on small fixtures.
+    pub fn with_level_parallel(self, threads: usize, min_work: usize) -> BasisRep {
+        BasisRep {
+            level_exec: Mutex::new(FwtLevelExec::new(threads).with_min_work(min_work)),
+            ..self
+        }
+    }
+
+    /// A fresh mutex around a snapshot of the executor's configuration
+    /// (the copied slot buffers keep their warmth).
+    fn level_exec_clone(&self) -> Mutex<FwtLevelExec> {
+        Mutex::new(self.level_exec.lock().unwrap_or_else(|e| e.into_inner()).clone())
+    }
+
+    /// Runs the analysis transform level-parallel when the block is wide
+    /// enough to engage workers; returns `false` when the caller should
+    /// run the serial transform instead (every level below the min-work
+    /// threshold, or another apply holds the executor) — bit-identical
+    /// either way.
+    fn try_forward_parallel(
+        &self,
+        fwt: &FastWaveletTransform,
+        x: &Mat,
+        out: &mut Mat,
+        s1: &mut Mat,
+        s2: &mut Mat,
+    ) -> bool {
+        let Ok(mut ex) = self.level_exec.try_lock() else { return false };
+        if !ex.engages(fwt, x.n_cols()) {
+            return false;
+        }
+        ex.forward_block_into(fwt, x, out, s1, s2);
+        true
+    }
+
+    /// Synthesis-side counterpart of
+    /// [`try_forward_parallel`](Self::try_forward_parallel).
+    fn try_inverse_parallel(
+        &self,
+        fwt: &FastWaveletTransform,
+        c: &Mat,
+        x: &mut Mat,
+        s1: &mut Mat,
+        s2: &mut Mat,
+    ) -> bool {
+        let Ok(mut ex) = self.level_exec.try_lock() else { return false };
+        if !ex.engages(fwt, c.n_cols()) {
+            return false;
+        }
+        ex.inverse_block_into(fwt, c, x, s1, s2);
+        true
     }
 
     /// Number of contacts.
@@ -257,31 +349,37 @@ impl BasisRep {
     }
 
     /// [`dense_columns`](Self::dense_columns) with the column list cut
-    /// into contiguous shards served by `threads` scoped workers (0 =
-    /// auto), each running the serial panel loop with its own workspace
-    /// into a disjoint column range of the output. Every column is the
-    /// serial kernel's own bits, so the threaded materialization is
-    /// bit-identical to [`dense_columns`](Self::dense_columns) for every
-    /// thread count.
+    /// into contiguous shards dispatched over `threads` pool workers
+    /// (0 = auto), each running the serial panel loop with its own
+    /// workspace into a disjoint column range of the output. Every
+    /// column is the serial kernel's own bits, so the threaded
+    /// materialization is bit-identical to
+    /// [`dense_columns`](Self::dense_columns) for every thread count.
     pub fn dense_columns_threaded(&self, cols: &[usize], threads: usize) -> Mat {
         let n = self.n();
         let mut g = Mat::zeros(n, cols.len());
         let workers = subsparse_linalg::resolve_threads(threads).min(cols.len()).max(1);
-        if workers <= 1 {
+        if workers <= 1 || n == 0 {
             self.fill_columns(cols, &mut g);
             return g;
         }
         let w = cols.len().div_ceil(workers);
-        std::thread::scope(|scope| {
-            for (k, panel) in g.col_chunks_mut(w).enumerate() {
-                let shard = &cols[k * w..(k * w + panel.len() / n.max(1)).min(cols.len())];
-                scope.spawn(move || {
-                    let mut out = Mat::zeros(n, shard.len());
-                    self.fill_columns(shard, &mut out);
-                    panel.copy_from_slice(out.data());
-                });
-            }
+        let shards = cols.len().div_ceil(w);
+        let panels = exec::ShardSlices::new(g.data_mut(), n * w);
+        let poisoned = exec::Executor::global().run(shards, &|k| {
+            let shard = &cols[k * w..((k + 1) * w).min(cols.len())];
+            let mut out = Mat::zeros(n, shard.len());
+            self.fill_columns(shard, &mut out);
+            // Safety: shard k alone writes panel k
+            let panel = unsafe { panels.chunk(k) };
+            panel.copy_from_slice(out.data());
         });
+        if poisoned {
+            // a shard's panel is suspect; materialization is a cold
+            // path, so rebuild everything through the serial kernel
+            // (bit-identical by construction)
+            self.fill_columns(cols, &mut g);
+        }
         g
     }
 
@@ -581,7 +679,9 @@ impl CouplingOp for BasisRep {
         self.prepare_rows(x, ws);
         let (wa, wb, wc) = ws.mats3();
         if let Some(fwt) = &self.fwt {
-            fwt.inverse_block_into(wb, y, wa, wc);
+            if !self.try_inverse_parallel(fwt, wb, y, wa, wc) {
+                fwt.inverse_block_into(wb, y, wa, wc);
+            }
         } else {
             let _q = trace::span("rep.q");
             self.q.matmul_dense_into(wb, y);
@@ -600,7 +700,9 @@ impl CouplingOp for BasisRep {
     fn prepare_rows(&self, x: &Mat, prep: &mut ApplyWorkspace) {
         let (wa, wb, wc) = prep.mats3();
         if let Some(fwt) = &self.fwt {
-            fwt.forward_block_into(x, wa, wb, wc);
+            if !self.try_forward_parallel(fwt, x, wa, wb, wc) {
+                fwt.forward_block_into(x, wa, wb, wc);
+            }
             let _gw = trace::span("rep.gw");
             self.gw.matmul_dense_into(wa, wb);
         } else {

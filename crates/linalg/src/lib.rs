@@ -19,6 +19,10 @@
 //!   accumulator.
 //! * [`op`] — the [`CouplingOp`] serving layer: one zero-allocation,
 //!   blocked apply path over every operator representation.
+//! * [`exec`] — the persistent parked-worker [`Executor`] every
+//!   thread-parallel path (serving pool, level-parallel FWT, dense
+//!   materialization, batch solvers) dispatches through: zero-alloc
+//!   hand-off, panic isolation, barriered completion.
 //! * [`kernels`] — the lane-blocked inner kernels of the serving hot
 //!   loops (fixed-lane accumulator dots, fused column updates) together
 //!   with the scalar references they are property-tested against.
@@ -43,6 +47,7 @@
 pub mod cg;
 pub mod chol;
 pub mod dct;
+pub mod exec;
 pub mod faults;
 pub mod fft;
 pub mod io;
@@ -57,6 +62,7 @@ pub mod trace;
 pub mod tridiag;
 
 pub use cg::{cg, pcg, pcg_with, CgResult, CgScratch, IdentityPrecond, LinOp};
+pub use exec::Executor;
 pub use mat::{axpy, dot, nrm2, Mat};
 pub use op::{resolve_threads, ApplyError, ApplyWorkspace, CouplingOp, LowRankOp, ParallelApply};
 pub use sparse::{Csr, SymmetricAccumulator, Triplets};

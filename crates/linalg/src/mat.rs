@@ -114,6 +114,15 @@ impl Mat {
         &self.data
     }
 
+    /// Mutable raw column-major data.
+    ///
+    /// The executor call sites wrap this in
+    /// [`ShardSlices`](crate::exec::ShardSlices) to hand disjoint column
+    /// panels to pool workers.
+    pub fn data_mut(&mut self) -> &mut [f64] {
+        &mut self.data
+    }
+
     /// Iterator of mutable contiguous column slices.
     ///
     /// The slices are disjoint, so they can be handed to scoped threads

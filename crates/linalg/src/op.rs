@@ -60,22 +60,42 @@
 //! assert_eq!(g.nnz(), 4);
 //! ```
 
+use crate::exec;
 use crate::faults;
 use crate::mat::Mat;
 use crate::sparse::Csr;
 use crate::trace;
-use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicBool, Ordering};
 
-/// Resolves a worker-thread knob: `0` means one worker per available CPU
-/// (the shared `threads: usize, 0 = auto` convention of `BatchOptions`
-/// and every CLI/bench flag in the workspace).
+/// Resolves a worker-thread knob: `0` means "auto" — the
+/// `SUBSPARSE_THREADS` environment variable if set to a positive
+/// integer, otherwise one worker per available CPU. This is the one
+/// canonical thread knob: `BatchOptions`, the solver configs, the eval
+/// options, and every CLI/bench `--threads` flag all funnel through it,
+/// so `SUBSPARSE_THREADS=4` caps every auto-resolved pool in the process
+/// without touching a flag. An explicit nonzero knob always wins over
+/// the environment.
+///
+/// The auto resolution (environment + CPU probe) is computed once per
+/// process and cached.
 pub fn resolve_threads(threads: usize) -> usize {
-    if threads == 0 {
-        std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
-    } else {
-        threads
+    if threads != 0 {
+        return threads;
     }
+    use std::sync::OnceLock;
+    static AUTO: OnceLock<usize> = OnceLock::new();
+    *AUTO.get_or_init(|| {
+        resolve_auto_threads(
+            std::env::var("SUBSPARSE_THREADS").ok().as_deref(),
+            std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1),
+        )
+    })
+}
+
+/// The pure resolution rule behind [`resolve_threads`]'s auto path,
+/// split out so the environment-override semantics are unit-testable
+/// without mutating process state.
+fn resolve_auto_threads(env: Option<&str>, cpus: usize) -> usize {
+    env.and_then(|v| v.trim().parse::<usize>().ok()).filter(|&n| n > 0).unwrap_or(cpus)
 }
 
 /// Reusable scratch space for [`CouplingOp`] applies.
@@ -421,7 +441,8 @@ impl std::error::Error for ApplyError {}
 
 /// A thread-parallel serving executor: one
 /// [`apply_block_into`](CouplingOp::apply_block_into) call, sharded
-/// across scoped worker threads.
+/// across the persistent shared worker pool
+/// ([`Executor`](crate::exec::Executor)).
 ///
 /// The contract is the serving layer's, extended by one clause: for every
 /// thread count — including `0` (auto) and counts exceeding the block
@@ -476,12 +497,17 @@ pub struct ParallelApply {
 const MIN_ROWS_PER_SHARD: usize = 16;
 
 /// Default of [`ParallelApply::with_min_work`]: stored-value traversals
-/// (`nnz x block`) each worker must be fed before the executor spawns it.
-/// A scoped-thread launch costs tens of microseconds; 128k multiply-adds
-/// per worker keeps that under ~10% of the shard it pays for. Small
-/// panels — the dense n=256, block=1 regression this knob was added for —
-/// fall back to the inline serial path instead of a degraded spawn.
-pub const DEFAULT_MIN_WORK_PER_WORKER: usize = 128 * 1024;
+/// (`nnz x block`) each worker must be fed before the dispatch engages
+/// it. The threshold is calibrated to the measured cost of handing work
+/// to the persistent pool, not to thread-launch folklore: the
+/// `apply_speed --handoff` micro-rows put a parked-pool dispatch at
+/// ~2-3us against ~15-20us for the fresh `std::thread::scope` launches
+/// the pool replaced (see `BENCH_apply_speed.json`), so the break-even
+/// work per worker dropped by the same ~8x — 16k multiply-adds keeps the
+/// hand-off under ~10% of the shard it pays for. Panels below that —
+/// e.g. a dense n=64 single-vector apply — serve on the inline serial
+/// path instead of a degraded dispatch.
+pub const DEFAULT_MIN_WORK_PER_WORKER: usize = 16 * 1024;
 
 impl ParallelApply {
     /// Creates an executor with the given worker count (`0` = one per
@@ -625,28 +651,18 @@ impl ParallelApply {
                 op.prepare_rows(x, &mut self.prep);
             }
             let prep = &self.prep;
-            let poisoned = AtomicBool::new(false);
-            std::thread::scope(|scope| {
-                for (k, slot) in self.slots[..shards].iter_mut().enumerate() {
-                    let (i0, i1) = (k * h, ((k + 1) * h).min(n));
-                    let poisoned = &poisoned;
-                    scope.spawn(move || {
-                        let _w =
-                            trace::span_track("worker.row_shard", trace::worker_track(k), k as u64);
-                        let work = catch_unwind(AssertUnwindSafe(|| {
-                            if faults::enabled() && faults::fire(faults::Failpoint::PoolWorkerPanic)
-                            {
-                                panic!("injected fault: pool.worker_panic");
-                            }
-                            slot.run_row_shard(op, x, prep, i0, i1)
-                        }));
-                        if work.is_err() {
-                            poisoned.store(true, Ordering::Relaxed);
-                        }
-                    });
+            let slots = exec::ShardItems::new(&mut self.slots[..shards]);
+            let poisoned = exec::Executor::global().run(shards, &|k| {
+                let _w = trace::span_track("worker.row_shard", trace::worker_track(k), k as u64);
+                if faults::enabled() && faults::fire(faults::Failpoint::PoolWorkerPanic) {
+                    panic!("injected fault: pool.worker_panic");
                 }
+                // Safety: shard k is the only shard touching slot k
+                let slot = unsafe { slots.item(k) };
+                let (i0, i1) = (k * h, ((k + 1) * h).min(n));
+                slot.run_row_shard(op, x, prep, i0, i1);
             });
-            if poisoned.load(Ordering::Relaxed) {
+            if poisoned {
                 // a worker's staging panel is suspect; discard everything
                 // and recompute on the bit-identical serial path
                 self.degraded_serial_apply(op, x, y);
@@ -669,29 +685,25 @@ impl ParallelApply {
             op.apply_block_into(x, y, &mut self.slots[0].ws);
             return;
         }
-        self.ensure_slots(workers);
         let w = b.div_ceil(workers);
-        trace::add(trace::Counter::ColPanels, b.div_ceil(w) as u64);
-        let poisoned = AtomicBool::new(false);
-        std::thread::scope(|scope| {
-            for ((k, slot), y_panel) in self.slots.iter_mut().enumerate().zip(y.col_chunks_mut(w)) {
-                let poisoned = &poisoned;
-                scope.spawn(move || {
-                    let _w =
-                        trace::span_track("worker.col_shard", trace::worker_track(k), k as u64);
-                    let work = catch_unwind(AssertUnwindSafe(|| {
-                        if faults::enabled() && faults::fire(faults::Failpoint::PoolWorkerPanic) {
-                            panic!("injected fault: pool.worker_panic");
-                        }
-                        slot.run_col_shard(op, x, k * w, y_panel)
-                    }));
-                    if work.is_err() {
-                        poisoned.store(true, Ordering::Relaxed);
-                    }
-                });
+        let shards = b.div_ceil(w);
+        self.ensure_slots(shards);
+        trace::add(trace::Counter::ColPanels, shards as u64);
+        // each shard owns one slot and one contiguous panel of the
+        // column-major output: w columns of n rows
+        let panels = exec::ShardSlices::new(y.data_mut(), n * w);
+        let slots = exec::ShardItems::new(&mut self.slots[..shards]);
+        let poisoned = exec::Executor::global().run(shards, &|k| {
+            let _w = trace::span_track("worker.col_shard", trace::worker_track(k), k as u64);
+            if faults::enabled() && faults::fire(faults::Failpoint::PoolWorkerPanic) {
+                panic!("injected fault: pool.worker_panic");
             }
+            // Safety: shard k alone touches slot k and panel k
+            let slot = unsafe { slots.item(k) };
+            let y_panel = unsafe { panels.chunk(k) };
+            slot.run_col_shard(op, x, k * w, y_panel);
         });
-        if poisoned.load(Ordering::Relaxed) {
+        if poisoned {
             // the poisoned worker's output panel is suspect; the serial
             // path rewrites every column, so rerunning it restores the
             // bit-identical result
@@ -882,6 +894,19 @@ mod tests {
     }
 
     #[test]
+    fn auto_thread_resolution_honors_env_then_cpus() {
+        // explicit knob always wins (resolve_threads returns it untouched)
+        assert_eq!(resolve_threads(3), 3);
+        // auto: a valid SUBSPARSE_THREADS overrides the CPU count…
+        assert_eq!(resolve_auto_threads(Some("4"), 8), 4);
+        assert_eq!(resolve_auto_threads(Some(" 2 "), 8), 2);
+        // …and anything unusable falls back to it
+        assert_eq!(resolve_auto_threads(Some("0"), 8), 8);
+        assert_eq!(resolve_auto_threads(Some("lots"), 8), 8);
+        assert_eq!(resolve_auto_threads(None, 8), 8);
+    }
+
+    #[test]
     fn trait_objects_serve_every_kind() {
         let dense = Mat::from_fn(4, 4, |i, j| 1.0 / (1.0 + (i + 2 * j) as f64));
         let sparse = test_csr();
@@ -1002,7 +1027,7 @@ mod tests {
 
     #[test]
     fn min_work_threshold_serves_small_applies_inline() {
-        // n=64 dense, block 1: 4096 traversals, far below the 128k
+        // n=64 dense, block 1: 4096 traversals, far below the 16k
         // default — the executor must plan a single (inline) worker and
         // still produce the serial bits
         let n = 64;
@@ -1013,8 +1038,8 @@ mod tests {
         // the same pool with the threshold disabled engages the row axis
         assert!(ParallelApply::new(4).with_min_work(0).planned_workers(&g, 1) > 1);
         // enough columns to clear the threshold re-engages workers:
-        // 4096 * 64 = 256k traversals feeds two
-        assert_eq!(pool.planned_workers(&g, 64), 2);
+        // 4096 * 64 = 256k traversals feeds all four at the 16k default
+        assert_eq!(pool.planned_workers(&g, 64), 4);
         let x = Mat::from_fn(n, 1, |i, _| (i as f64).sin());
         assert_eq!(pool.apply_block(&g, &x).data(), g.apply_block(&x).data());
     }

@@ -10,8 +10,10 @@
 //! therefore stay instrumented permanently.
 //!
 //! Span events are buffered in a thread-local vector and flushed into a
-//! global sink when the buffer fills or the thread exits, so scoped worker
-//! threads (which die before the main thread exports) lose nothing. The
+//! global sink when the buffer fills or the thread exits; pool workers,
+//! which park instead of exiting (their TLS destructors may never run),
+//! emit through the flush-on-drop track spans instead, so nothing is
+//! lost either way. The
 //! sink is capped; overflow is counted in [`Counter::EventsDropped`] and
 //! reported in the summary rather than silently discarded.
 
@@ -367,15 +369,16 @@ pub fn span_arg(name: &'static str, arg: u64) -> Span {
 }
 
 /// Opens a span pinned to an explicit track id instead of the calling
-/// thread's. `ParallelApply` workers use this so repeated applies land on
-/// stable per-worker tracks even though scoped threads are re-spawned.
+/// thread's. Pool-worker stints (`ParallelApply` shards, FWT level
+/// chunks) use this so a shard's events land on a stable per-shard
+/// track regardless of which persistent executor thread ran it.
 ///
 /// A tracked span also flushes its thread's event buffer when it drops.
-/// This is what makes worker events lossless: `std::thread::scope`
-/// unblocks when a worker's closure returns, which can be *before* the
-/// dying thread's TLS destructors (the other flush point) have run — so
-/// the outermost span of a scoped worker must push everything the worker
-/// buffered into the global sink while still inside the closure.
+/// This is what makes worker events lossless: the executor's workers
+/// park between dispatches and live until process exit, so their TLS
+/// destructors (the other flush point) may never run — the outermost
+/// span of a worker stint must push everything the worker buffered into
+/// the global sink before the dispatch completes.
 #[inline]
 pub fn span_track(name: &'static str, track: u64, arg: u64) -> Span {
     let mut s = span_inner(name, Some(track), Some(arg));
@@ -399,8 +402,9 @@ impl Drop for Span {
     }
 }
 
-/// Track id used by `ParallelApply` for worker slot `i`: stable across
-/// re-spawned scoped threads, disjoint from natural thread tracks.
+/// Track id used by the pool-dispatching executors for worker slot `i`:
+/// stable regardless of which pool thread serves the slot, disjoint
+/// from natural thread tracks.
 pub fn worker_track(slot: usize) -> u64 {
     1_000_000 + slot as u64
 }

@@ -28,7 +28,7 @@
 //!   the batch and run the per-column PCG solves on
 //!   [`FdSolverConfig::threads`](crate::FdSolverConfig::threads) /
 //!   [`EigenSolverConfig::threads`](crate::EigenSolverConfig::threads)
-//!   scoped worker threads — the win is roughly the thread count.
+//!   shared-pool worker lanes — the win is roughly the thread count.
 //!
 //! Every override produces bit-identical columns to the serial loop: the
 //! blocked gemm keeps the per-entry accumulation order, and the threaded
@@ -39,7 +39,7 @@
 //! plumbed by CLIs/benches into the solver configs at construction time.
 
 use std::sync::atomic::{AtomicUsize, Ordering};
-use subsparse_linalg::{trace, Mat};
+use subsparse_linalg::{exec, trace, Mat};
 
 /// Shared per-backend solve instrumentation: counts the solves and RHS
 /// columns, opens the backend's span, and attributes the wall time as
@@ -205,7 +205,7 @@ impl<T: SubstrateSolver + ?Sized> SubstrateSolver for &T {
 }
 
 /// Runs `solve_one(column, output, state)` over every column of
-/// `voltages` on up to `threads` scoped worker threads (columns dealt
+/// `voltages` on up to `threads` shared-pool workers (columns dealt
 /// round-robin), writing into a fresh `n_out x n_cols` matrix.
 /// `make_state` runs once per worker (once total when serial), and
 /// `solve_one` receives that worker's state mutably alongside each
@@ -241,41 +241,52 @@ where
 {
     let n_cols = voltages.n_cols();
     let mut out = Mat::zeros(n_out, n_cols);
-    let threads = resolve_threads(threads).min(n_cols).max(1);
+    let threads = if n_out == 0 { 1 } else { resolve_threads(threads).min(n_cols).max(1) };
     let failure = std::sync::Mutex::new(None::<ColumnFailure>);
     let record = |column: usize, error: SolverError| {
-        let mut slot = failure.lock().unwrap();
+        let mut slot = failure.lock().unwrap_or_else(|e| e.into_inner());
         if slot.as_ref().map_or(true, |f| column < f.column) {
             *slot = Some(ColumnFailure { column, error });
         }
     };
-    if threads == 1 {
+    let serial = |out: &mut Mat, record: &dyn Fn(usize, SolverError)| {
         let mut state = make_state();
         for (j, col) in out.cols_mut().enumerate() {
             if let Err(e) = solve_one(voltages.col(j), col, &mut state) {
                 record(j, e);
             }
         }
-        return (out, failure.into_inner().unwrap());
+    };
+    if threads == 1 {
+        serial(&mut out, &record);
+        return (out, failure.into_inner().unwrap_or_else(|e| e.into_inner()));
     }
-    let mut buckets: Vec<Vec<(usize, &mut [f64])>> = (0..threads).map(|_| Vec::new()).collect();
-    for (j, col) in out.cols_mut().enumerate() {
-        buckets[j % threads].push((j, col));
-    }
-    let (solve_one, make_state, record) = (&solve_one, &make_state, &record);
-    std::thread::scope(|scope| {
-        for bucket in buckets {
-            scope.spawn(move || {
-                let mut state = make_state();
-                for (j, col) in bucket {
-                    if let Err(e) = solve_one(voltages.col(j), col, &mut state) {
-                        record(j, e);
-                    }
-                }
-            });
+    // worker k solves columns j = k, k + threads, … — the same deal
+    // pattern as a round-robin hand-out, so which per-worker state
+    // solves which column (and therefore every output bit) is fixed by
+    // the thread count alone, never by scheduling
+    let cols = exec::ShardSlices::new(out.data_mut(), n_out);
+    let poisoned = exec::Executor::global().run(threads, &|k| {
+        let mut state = make_state();
+        let mut j = k;
+        while j < n_cols {
+            // Safety: column j belongs to exactly one worker
+            let col = unsafe { cols.chunk(j) };
+            if let Err(e) = solve_one(voltages.col(j), col, &mut state) {
+                record(j, e);
+            }
+            j += threads;
         }
     });
-    (out, failure.into_inner().unwrap())
+    if poisoned {
+        // a worker panicked mid-column, so its output range is suspect:
+        // recompute the whole batch serially (bit-identical — every
+        // column is the same serial routine). A deterministic panic
+        // reproduces here on the caller's thread, where it belongs.
+        *failure.lock().unwrap_or_else(|e| e.into_inner()) = None;
+        serial(&mut out, &record);
+    }
+    (out, failure.into_inner().unwrap_or_else(|e| e.into_inner()))
 }
 
 /// Shared tail of the iterative backends' infallible batch paths: warn
